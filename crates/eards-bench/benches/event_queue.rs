@@ -1,0 +1,119 @@
+//! DES engine throughput: the future-event list under the access patterns
+//! a datacenter week generates (schedule/pop churn, cancellations from
+//! completion-event rescheduling, same-timestamp bursts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eards_sim::{EventQueue, SimRng, SimTime, Simulator, WheelQueue};
+
+fn bench_schedule_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue/schedule_pop");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = SimRng::seed_from_u64(3);
+            let times: Vec<SimTime> = (0..n)
+                .map(|_| SimTime::from_millis(rng.next_u64() % 1_000_000_000))
+                .collect();
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for (i, &t) in times.iter().enumerate() {
+                    q.schedule(t, i);
+                }
+                let mut acc = 0usize;
+                while let Some((_, _, v)) = q.pop() {
+                    acc = acc.wrapping_add(v);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cancel_heavy(c: &mut Criterion) {
+    // The driver cancels and reschedules a completion event on every
+    // reallocation: cancellation is on the hot path.
+    c.bench_function("event_queue/cancel_reschedule_churn", |b| {
+        let mut rng = SimRng::seed_from_u64(4);
+        let offsets: Vec<u64> = (0..10_000).map(|_| 1 + rng.next_u64() % 10_000).collect();
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut handles = Vec::with_capacity(1_000);
+            for i in 0..1_000usize {
+                handles.push(q.schedule(SimTime::from_millis(i as u64), i));
+            }
+            // Churn: cancel + reschedule.
+            for (i, &off) in offsets.iter().enumerate() {
+                let idx = i % handles.len();
+                q.cancel(handles[idx]);
+                handles[idx] = q.schedule(SimTime::from_millis(off), idx);
+            }
+            let mut count = 0usize;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            count
+        })
+    });
+}
+
+fn bench_simulator_loop(c: &mut Criterion) {
+    // A self-perpetuating event chain through the full Simulator API.
+    c.bench_function("event_queue/simulator_hot_loop", |b| {
+        b.iter(|| {
+            let mut sim: Simulator<u64> = Simulator::new();
+            sim.schedule_at(SimTime::from_millis(1), 0);
+            let mut acc = 0u64;
+            while let Some((_, _, v)) = sim.step() {
+                acc = acc.wrapping_add(v);
+                if v < 50_000 {
+                    sim.schedule_after(eards_sim::SimDuration::from_millis(1), v + 1);
+                }
+            }
+            acc
+        })
+    });
+}
+
+fn bench_wheel_vs_heap(c: &mut Criterion) {
+    // Dense near-horizon workload: the regime where the O(1) wheel should
+    // beat the O(log n) heap.
+    let mut group = c.benchmark_group("event_queue/wheel_vs_heap_dense");
+    let mut rng = SimRng::seed_from_u64(5);
+    let times: Vec<u64> = (0..50_000).map(|_| rng.next_u64() % 3_600_000).collect();
+    group.bench_function("heap", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_millis(t), i);
+            }
+            let mut n = 0usize;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+    group.bench_function("wheel", |b| {
+        b.iter(|| {
+            let mut q = WheelQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_millis(t), i);
+            }
+            let mut n = 0usize;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_schedule_pop,
+    bench_cancel_heavy,
+    bench_simulator_loop,
+    bench_wheel_vs_heap
+);
+criterion_main!(benches);

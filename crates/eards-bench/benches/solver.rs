@@ -1,0 +1,122 @@
+//! Hill-climbing solver scaling — backs the paper's complexity claim
+//! (§III-B): "the algorithm complexity has an upper boundary of
+//! O(#Hosts · #VMs) · C since it iterates over the ⟨host,VM⟩ matrix C
+//! times".
+//!
+//! Benchmarks the full scheduling round (matrix build + solve) over
+//! increasing datacenter sizes, over the iteration cap, and over the
+//! penalty sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eards_core::{solve, Eval, ScoreConfig};
+use eards_model::{Cluster, Cpu, HostClass, HostId, HostSpec, Job, JobId, Mem, PowerState, VmId};
+use eards_sim::{SimDuration, SimRng, SimTime};
+
+/// Builds a cluster with `hosts` nodes, `running` placed VMs and `queued`
+/// waiting VMs.
+fn build(hosts: u32, running: u64, queued: u64) -> (Cluster, Vec<VmId>) {
+    let mut rng = SimRng::seed_from_u64(1);
+    let specs = (0..hosts)
+        .map(|i| HostSpec::standard(HostId(i), HostClass::Medium))
+        .collect();
+    let mut cluster = Cluster::new(specs, PowerState::On);
+    let mut cols = Vec::new();
+    let t0 = SimTime::ZERO;
+    let t1 = SimTime::from_secs(40);
+    for j in 0..running {
+        let cpu = Cpu(100 * (1 + rng.index(2) as u32));
+        let vm = cluster.submit_job(Job::new(
+            JobId(j),
+            t0,
+            cpu,
+            Mem::gib(1),
+            SimDuration::from_secs(7200),
+            1.5,
+        ));
+        let mut placed = false;
+        for k in 0..hosts {
+            let h = HostId((j as u32 + k) % hosts);
+            if cluster.can_place(h, vm) {
+                cluster.start_creation(vm, h, t0, t1);
+                cluster.finish_creation(vm, t1);
+                placed = true;
+                break;
+            }
+        }
+        if placed {
+            cols.push(vm);
+        }
+    }
+    for j in 0..queued {
+        let vm = cluster.submit_job(Job::new(
+            JobId(running + j),
+            t1,
+            Cpu(100),
+            Mem::gib(1),
+            SimDuration::from_secs(3600),
+            1.5,
+        ));
+        cols.push(vm);
+    }
+    (cluster, cols)
+}
+
+fn bench_matrix_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/hosts_x_vms");
+    for &(hosts, vms) in &[(25u32, 20u64), (50, 40), (100, 80), (200, 160), (400, 320)] {
+        let (cluster, cols) = build(hosts, vms / 2, vms / 2);
+        let cfg = ScoreConfig::sb();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{hosts}h_{vms}v")),
+            &(cluster, cols, cfg),
+            |b, (cluster, cols, cfg)| {
+                b.iter(|| {
+                    let mut eval = Eval::new(cluster, cfg, SimTime::from_secs(100), cols.clone());
+                    solve(&mut eval, cfg.max_moves)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_iteration_cap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/max_moves");
+    let (cluster, cols) = build(100, 40, 40);
+    for &cap in &[4usize, 16, 64, 256] {
+        let cfg = ScoreConfig::sb();
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            b.iter(|| {
+                let mut eval = Eval::new(&cluster, &cfg, SimTime::from_secs(100), cols.clone());
+                solve(&mut eval, cap)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_penalty_sets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/penalty_sets");
+    let (cluster, cols) = build(100, 40, 40);
+    for (name, cfg) in [
+        ("sb0", ScoreConfig::sb0()),
+        ("sb2", ScoreConfig::sb2()),
+        ("full", ScoreConfig::full()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut eval = Eval::new(&cluster, cfg, SimTime::from_secs(100), cols.clone());
+                solve(&mut eval, cfg.max_moves)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matrix_scaling,
+    bench_iteration_cap,
+    bench_penalty_sets
+);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Runs the dynamic-λ-threshold extension ablation.
+fn main() {
+    eards_bench::emit(&eards_bench::exp_ablation_adaptive::run());
+}

@@ -1,0 +1,4 @@
+//! Runs the power-curve ablation (calibrated / constant / proportional).
+fn main() {
+    eards_bench::emit(&eards_bench::exp_ablation_powermodel::run());
+}

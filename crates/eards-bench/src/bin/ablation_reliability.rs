@@ -1,0 +1,4 @@
+//! Runs the reliability/fault-tolerance extension ablation.
+fn main() {
+    eards_bench::emit(&eards_bench::exp_ablation_reliability::run());
+}

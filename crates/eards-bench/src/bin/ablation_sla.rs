@@ -1,0 +1,4 @@
+//! Runs the dynamic-SLA-enforcement extension ablation.
+fn main() {
+    eards_bench::emit(&eards_bench::exp_ablation_sla::run());
+}

@@ -1,0 +1,4 @@
+//! Runs the provider-economics extension experiment.
+fn main() {
+    eards_bench::emit(&eards_bench::exp_economics::run());
+}

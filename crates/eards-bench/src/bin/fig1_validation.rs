@@ -1,0 +1,4 @@
+//! Regenerates Figure 1 (simulator validation).
+fn main() {
+    eards_bench::emit(&eards_bench::exp_fig1::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figures 2 and 3 (λ threshold surfaces).
+fn main() {
+    eards_bench::emit(&eards_bench::exp_fig23::run());
+}

@@ -1,0 +1,4 @@
+//! Runs the multi-seed robustness experiment.
+fn main() {
+    eards_bench::emit(&eards_bench::exp_robustness::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table I (server power model).
+fn main() {
+    eards_bench::emit(&eards_bench::exp_table1::run());
+}

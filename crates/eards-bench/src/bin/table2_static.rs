@@ -1,0 +1,4 @@
+//! Regenerates Table II (static policies).
+fn main() {
+    eards_bench::emit(&eards_bench::exp_table2::run());
+}

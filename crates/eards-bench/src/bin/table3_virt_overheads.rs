@@ -1,0 +1,4 @@
+//! Regenerates Table III (virtualization-overhead penalties).
+fn main() {
+    eards_bench::emit(&eards_bench::exp_table3::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table IV (migration; the paper's −15% headline).
+fn main() {
+    eards_bench::emit(&eards_bench::exp_table4::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table V (consolidation-cost sweep).
+fn main() {
+    eards_bench::emit(&eards_bench::exp_table5::run());
+}

@@ -1,0 +1,161 @@
+//! Shared infrastructure for the experiment binaries.
+//!
+//! Every table and figure of the paper's evaluation has one experiment
+//! function in this crate returning an [`ExperimentResult`]; the thin
+//! binaries print it and `run_all` stitches all of them into
+//! `EXPERIMENTS.md`.
+
+use std::fs;
+use std::path::Path;
+
+use eards_core::{ScoreConfig, ScoreScheduler};
+use eards_metrics::Table;
+use eards_model::Policy;
+use eards_policies::{BackfillingPolicy, DynamicBackfillingPolicy, RandomPolicy, RoundRobinPolicy};
+use eards_workload::{generate, SynthConfig, Trace};
+
+/// Seed of the canonical week-long trace used by all table experiments
+/// (fixed so every experiment sees the same workload, like the paper's
+/// single Grid5000 week).
+pub const TRACE_SEED: u64 = 7;
+
+/// The canonical week-long Grid5000-like trace.
+pub fn paper_trace() -> Trace {
+    generate(&SynthConfig::grid5000_week(), TRACE_SEED)
+}
+
+/// Policy constructors by table row name.
+pub fn make_policy(name: &str) -> Box<dyn Policy> {
+    match name {
+        "RD" => Box::new(RandomPolicy::new(1)),
+        "RR" => Box::new(RoundRobinPolicy::new()),
+        "BF" => Box::new(BackfillingPolicy::new()),
+        "DBF" => Box::new(DynamicBackfillingPolicy::new()),
+        "SB0" => Box::new(ScoreScheduler::new(ScoreConfig::sb0())),
+        "SB1" => Box::new(ScoreScheduler::new(ScoreConfig::sb1())),
+        "SB2" => Box::new(ScoreScheduler::new(ScoreConfig::sb2())),
+        "SB" => Box::new(ScoreScheduler::new(ScoreConfig::sb())),
+        other => panic!("unknown policy name {other:?}"),
+    }
+}
+
+/// The outcome of one experiment: captioned tables plus prose notes.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Identifier used for file names (e.g. `table2_static`).
+    pub id: String,
+    /// Human title (e.g. `Table II — static allocation`).
+    pub title: String,
+    /// What the paper reported, quoted for side-by-side comparison.
+    pub paper_reference: String,
+    /// Captioned result tables.
+    pub tables: Vec<(String, Table)>,
+    /// Observations, including the shape checks that hold/fail.
+    pub notes: Vec<String>,
+    /// Extra machine-readable artifacts `(file name, contents)` — CSV
+    /// series for plotting, etc.
+    pub artifacts: Vec<(String, String)>,
+}
+
+impl ExperimentResult {
+    /// Creates an empty result.
+    pub fn new(id: &str, title: &str, paper_reference: &str) -> Self {
+        ExperimentResult {
+            id: id.into(),
+            title: title.into(),
+            paper_reference: paper_reference.into(),
+            tables: Vec::new(),
+            notes: Vec::new(),
+            artifacts: Vec::new(),
+        }
+    }
+
+    /// Renders the result as a Markdown section.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("## {}\n\n*Paper:* {}\n\n", self.title, self.paper_reference);
+        for (caption, table) in &self.tables {
+            out.push_str(&format!("**{caption}**\n\n"));
+            out.push_str(&table.to_markdown());
+            out.push('\n');
+        }
+        if !self.notes.is_empty() {
+            out.push_str("Notes:\n\n");
+            for n in &self.notes {
+                out.push_str(&format!("* {n}\n"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the section and its artifacts under `dir` (created if
+    /// needed). Returns the list of files written.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<Vec<String>> {
+        fs::create_dir_all(dir)?;
+        let mut written = Vec::new();
+        let md = dir.join(format!("{}.md", self.id));
+        fs::write(&md, self.to_markdown())?;
+        written.push(md.display().to_string());
+        for (name, contents) in &self.artifacts {
+            let p = dir.join(name);
+            fs::write(&p, contents)?;
+            written.push(p.display().to_string());
+        }
+        Ok(written)
+    }
+}
+
+/// Prints a result to stdout and writes it (plus artifacts) to
+/// `results/`; the standard tail of every experiment binary.
+pub fn emit(result: &ExperimentResult) {
+    print!("{}", result.to_markdown());
+    match result.write_to(Path::new("results")) {
+        Ok(files) => {
+            for f in files {
+                eprintln!("wrote {f}");
+            }
+        }
+        Err(e) => eprintln!("warning: could not write results/: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_factory_covers_all_rows() {
+        for name in ["RD", "RR", "BF", "DBF", "SB0", "SB1", "SB2", "SB"] {
+            let p = make_policy(name);
+            assert_eq!(p.name(), name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown policy")]
+    fn unknown_policy_panics() {
+        make_policy("nope");
+    }
+
+    #[test]
+    fn paper_trace_is_stable() {
+        let a = paper_trace();
+        let b = paper_trace();
+        assert_eq!(a.len(), b.len());
+        assert!(a.len() > 1000);
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let mut r = ExperimentResult::new("x", "X — test", "paper said 42");
+        let mut t = Table::new(["a"]);
+        t.row(["1"]);
+        r.tables.push(("numbers".into(), t));
+        r.notes.push("shape holds".into());
+        let md = r.to_markdown();
+        assert!(md.contains("## X — test"));
+        assert!(md.contains("*Paper:* paper said 42"));
+        assert!(md.contains("**numbers**"));
+        assert!(md.contains("* shape holds"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Minimal command-line argument parsing (no external dependencies).
+//!
+//! Grammar: `eards <command> [<subcommand>] [positionals] [--flag value]
+//! [--switch]`. Flags are declared up front as valued or boolean, so
+//! `--failures --seed 7` parses unambiguously.
+
+use std::collections::{HashMap, HashSet};
+
+/// Parsed arguments: positionals in order plus flag lookups.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positionals: Vec<String>,
+    values: HashMap<String, String>,
+    switches: HashSet<String>,
+}
+
+/// Errors raised while parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// `--flag` was not declared.
+    UnknownFlag(String),
+    /// A valued flag had no value.
+    MissingValue(String),
+    /// A value failed to parse as the requested type.
+    BadValue {
+        /// Flag name.
+        flag: String,
+        /// Raw value.
+        value: String,
+        /// Target type name.
+        expected: &'static str,
+    },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::UnknownFlag(flag) => write!(f, "unknown flag --{flag}"),
+            ArgError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => {
+                write!(f, "--{flag} {value}: expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Declares the accepted flags and parses a token stream.
+pub struct ArgSpec {
+    valued: HashSet<&'static str>,
+    boolean: HashSet<&'static str>,
+}
+
+impl ArgSpec {
+    /// Builds a spec from the valued and boolean flag names (without
+    /// leading dashes).
+    pub fn new(valued: &[&'static str], boolean: &[&'static str]) -> Self {
+        ArgSpec {
+            valued: valued.iter().copied().collect(),
+            boolean: boolean.iter().copied().collect(),
+        }
+    }
+
+    /// Parses tokens (not including the program/command names).
+    pub fn parse<I: IntoIterator<Item = String>>(&self, tokens: I) -> Result<Args, ArgError> {
+        let mut args = Args::default();
+        let mut iter = tokens.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(flag) = tok.strip_prefix("--") {
+                // Support --flag=value too.
+                if let Some((name, value)) = flag.split_once('=') {
+                    if !self.valued.contains(name) {
+                        return Err(ArgError::UnknownFlag(name.into()));
+                    }
+                    args.values.insert(name.into(), value.into());
+                } else if self.boolean.contains(flag) {
+                    args.switches.insert(flag.into());
+                } else if self.valued.contains(flag) {
+                    match iter.next() {
+                        Some(v) => {
+                            args.values.insert(flag.into(), v);
+                        }
+                        None => return Err(ArgError::MissingValue(flag.into())),
+                    }
+                } else {
+                    return Err(ArgError::UnknownFlag(flag.into()));
+                }
+            } else {
+                args.positionals.push(tok);
+            }
+        }
+        Ok(args)
+    }
+}
+
+impl Args {
+    /// Positional arguments, in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// True if a boolean switch was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.contains(name)
+    }
+
+    /// Raw string value of a flag.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Typed flag lookup with a default.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::BadValue {
+                flag: name.into(),
+                value: raw.clone(),
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+
+    /// Typed optional flag lookup.
+    pub fn get_opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, ArgError> {
+        match self.values.get(name) {
+            None => Ok(None),
+            Some(raw) => raw.parse().map(Some).map_err(|_| ArgError::BadValue {
+                flag: name.into(),
+                value: raw.clone(),
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+
+    /// Comma-separated list flag (`--policies bf,sb,dbf`); empty items
+    /// (stray commas) are dropped.
+    pub fn list(&self, name: &str) -> Vec<String> {
+        self.values
+            .get(name)
+            .map(|v| {
+                v.split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ArgSpec {
+        ArgSpec::new(&["seed", "days", "policies"], &["failures", "economics"])
+    }
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_mixed_flags() {
+        let a = spec()
+            .parse(toks("input.swf --seed 7 --failures --days 3"))
+            .unwrap();
+        assert_eq!(a.positionals(), ["input.swf"]);
+        assert_eq!(a.get::<u64>("seed", 0).unwrap(), 7);
+        assert_eq!(a.get::<u64>("days", 1).unwrap(), 3);
+        assert!(a.switch("failures"));
+        assert!(!a.switch("economics"));
+    }
+
+    #[test]
+    fn equals_syntax() {
+        let a = spec().parse(toks("--seed=42")).unwrap();
+        assert_eq!(a.get::<u64>("seed", 0).unwrap(), 42);
+    }
+
+    #[test]
+    fn list_flag() {
+        let a = spec().parse(toks("--policies bf, sb ,dbf")).unwrap();
+        // Note: shell would pass "bf," "sb" ",dbf" differently; the flag
+        // value here is the single token "bf,".
+        assert_eq!(a.list("policies"), ["bf"]);
+        let a = spec().parse(toks("--policies bf,sb,dbf")).unwrap();
+        assert_eq!(a.list("policies"), ["bf", "sb", "dbf"]);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            spec().parse(toks("--nope 1")).unwrap_err(),
+            ArgError::UnknownFlag("nope".into())
+        );
+        assert_eq!(
+            spec().parse(toks("--seed")).unwrap_err(),
+            ArgError::MissingValue("seed".into())
+        );
+        let bad = spec().parse(toks("--seed abc")).unwrap();
+        assert!(matches!(
+            bad.get::<u64>("seed", 0),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = spec().parse(Vec::new()).unwrap();
+        assert_eq!(a.get::<u64>("seed", 99).unwrap(), 99);
+        assert_eq!(a.get_opt::<f64>("days").unwrap(), None);
+    }
+}

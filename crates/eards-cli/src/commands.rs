@@ -1,0 +1,376 @@
+//! The CLI commands: `run`, `compare`, `sweep`, `trace`.
+
+use eards_datacenter::{lambda_grid, run_sweep, Runner};
+use eards_metrics::{fnum, heatmap, sparkline_fit, PricingModel, RunReport, Table};
+use eards_sim::{SimDuration, SimTime};
+use eards_workload::{analyze, generate, parse_swf, write_swf, SwfOptions, SynthConfig};
+
+use crate::args::{ArgSpec, Args};
+use crate::setup::{
+    build_hosts, build_run_config, build_trace, make_policy, CliError, COMMON_SWITCHES,
+    COMMON_VALUED,
+};
+
+/// Usage text.
+pub const USAGE: &str = "\
+eards — energy-aware virtualized-datacenter simulator (Goiri et al., CLUSTER 2010)
+
+USAGE:
+  eards run      [--policy sb] [common flags]      simulate one policy
+  eards compare  [--policies bf,dbf,sb] [...]      simulate several policies
+  eards sweep    [--policy sb] [--lambda-min-grid 10,30,50]
+                 [--lambda-max-grid 50,70,90] [...]  λ threshold sweep (parallel)
+  eards trace generate [--days D] [--trace-seed S] [--load-factor F] [--out FILE.swf]
+  eards trace info <FILE.swf>                      summarize an SWF trace
+  eards help                                       this text
+
+COMMON FLAGS:
+  --hosts N | --paper-dc      datacenter size (default 20 medium nodes; paper = 100)
+  --days D | --hours H        synthetic workload span (default 1 day)
+  --trace FILE.swf            use a real SWF trace instead of the generator
+  --trace-seed S              workload seed (default 7)
+  --load-factor F             scale the offered load (default 1.0)
+  --lambda-min P              node turn-off threshold, percent (default 30)
+  --lambda-max P              node turn-on threshold, percent (default 90)
+  --adaptive TARGET           adaptive λ_min controller holding TARGET % satisfaction
+  --failures                  inject host failures from reliability factors
+  --checkpoint-mins M         checkpoint running VMs every M minutes
+  --seed S                    simulation seed (operation jitter, failures)
+  --economics                 additionally print revenue/energy-cost/profit
+  --power-series FILE.csv     write the datacenter power trace
+  --csv                       print tables as CSV instead of Markdown
+  --out FILE                  write output to FILE (trace generate)
+
+POLICIES: rd, rr, bf, dbf, sb0, sb1, sb2, sb (paper default), sb-ext
+";
+
+/// Dispatches a command line (without the program name). Returns the text
+/// to print.
+pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Ok(USAGE.to_string());
+    };
+    match cmd.as_str() {
+        "run" => run_cmd(rest),
+        "compare" => compare_cmd(rest),
+        "sweep" => sweep_cmd(rest),
+        "trace" => trace_cmd(rest),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?}; try `eards help`"
+        ))),
+    }
+}
+
+fn parse_common(tokens: &[String]) -> Result<Args, CliError> {
+    Ok(ArgSpec::new(COMMON_VALUED, COMMON_SWITCHES).parse(tokens.to_vec())?)
+}
+
+fn render(table: &Table, csv: bool) -> String {
+    if csv {
+        table.to_csv()
+    } else {
+        table.to_markdown()
+    }
+}
+
+fn report_output(args: &Args, reports: &[RunReport]) -> Result<String, CliError> {
+    let mut out = render(&RunReport::table(reports), args.switch("csv"));
+    if args.switch("economics") {
+        let pricing = PricingModel::default();
+        out.push('\n');
+        out.push_str(&render(&pricing.table(reports), args.switch("csv")));
+    }
+    if let Some(path) = args.value("power-series") {
+        // One file per report: a comparison writes `<stem>.<label>.csv`
+        // rather than silently keeping only the last policy's trace.
+        for r in reports {
+            let target = if reports.len() == 1 {
+                path.to_string()
+            } else {
+                let label = r.label.to_ascii_lowercase().replace([' ', '/'], "_");
+                match path.rsplit_once('.') {
+                    Some((stem, ext)) => format!("{stem}.{label}.{ext}"),
+                    None => format!("{path}.{label}"),
+                }
+            };
+            let mut csv = String::from("t_secs,watts\n");
+            let end = r
+                .power_watts
+                .points()
+                .last()
+                .map(|p| p.at)
+                .unwrap_or(SimTime::ZERO);
+            let samples: Vec<(SimTime, f64)> =
+                r.power_watts
+                    .resample(SimTime::ZERO, end, SimDuration::from_secs(60));
+            for (t, w) in &samples {
+                csv.push_str(&format!("{},{w:.1}\n", t.as_millis() / 1000));
+            }
+            std::fs::write(&target, csv)?;
+            let watts: Vec<f64> = samples.iter().map(|&(_, w)| w).collect();
+            out.push_str(&format!(
+                "\n{} power over time: {}\npower series written to {target}\n",
+                r.label,
+                sparkline_fit(&watts, 72)
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn run_cmd(tokens: &[String]) -> Result<String, CliError> {
+    let args = parse_common(tokens)?;
+    let policy_name = args.value("policy").unwrap_or("sb").to_string();
+    let hosts = build_hosts(&args)?;
+    let trace = build_trace(&args)?;
+    let cfg = build_run_config(&args)?;
+    let policy = make_policy(&policy_name, cfg.seed)?;
+    let report = Runner::new(hosts, trace, policy, cfg).run();
+    report_output(&args, std::slice::from_ref(&report))
+}
+
+fn compare_cmd(tokens: &[String]) -> Result<String, CliError> {
+    let args = parse_common(tokens)?;
+    let mut names = args.list("policies");
+    if names.is_empty() {
+        names = vec!["bf".into(), "dbf".into(), "sb".into()];
+    }
+    let hosts = build_hosts(&args)?;
+    let trace = build_trace(&args)?;
+    let cfg = build_run_config(&args)?;
+    let mut reports = Vec::new();
+    for name in &names {
+        let policy = make_policy(name, cfg.seed)?;
+        let report = Runner::new(hosts.clone(), trace.clone(), policy, cfg.clone()).run();
+        reports.push(report);
+    }
+    report_output(&args, &reports)
+}
+
+fn parse_grid(args: &Args, flag: &str, default: &[u32]) -> Result<Vec<u32>, CliError> {
+    let raw = args.list(flag);
+    if raw.is_empty() {
+        return Ok(default.to_vec());
+    }
+    raw.iter()
+        .map(|s| {
+            s.parse::<u32>()
+                .map_err(|_| CliError::Usage(format!("--{flag}: {s:?} is not a percent")))
+        })
+        .collect()
+}
+
+fn sweep_cmd(tokens: &[String]) -> Result<String, CliError> {
+    let args = parse_common(tokens)?;
+    let policy_name = args.value("policy").unwrap_or("sb").to_string();
+    let hosts = build_hosts(&args)?;
+    let trace = build_trace(&args)?;
+    let base = build_run_config(&args)?;
+    let min_grid = parse_grid(&args, "lambda-min-grid", &[10, 30, 50, 70])?;
+    let max_grid = parse_grid(&args, "lambda-max-grid", &[50, 70, 90])?;
+    let points = lambda_grid(&base, &min_grid, &max_grid);
+    if points.is_empty() {
+        return Err(CliError::Usage(
+            "the λ grids produced no valid (min < max) pairs".into(),
+        ));
+    }
+    let seed = base.seed;
+    let labels: Vec<String> = points.iter().map(|p| p.label.clone()).collect();
+    let reports = run_sweep(
+        &hosts,
+        &trace,
+        || make_policy(&policy_name, seed).expect("validated above"),
+        points,
+    );
+    let mut t = Table::new(["setting", "Pwr (kWh)", "S (%)", "delay (%)", "Mig"]);
+    for (label, r) in labels.iter().zip(&reports) {
+        t.row([
+            label.clone(),
+            fnum(r.energy_kwh, 1),
+            fnum(r.satisfaction_pct, 2),
+            fnum(r.delay_pct, 2),
+            r.migrations.to_string(),
+        ]);
+    }
+    let mut out = render(&t, args.switch("csv"));
+    if !args.switch("csv") && min_grid.len() > 1 && max_grid.len() > 1 {
+        // Shade the λ surface (darker = more energy), like Fig. 2.
+        let by_label: std::collections::HashMap<&str, f64> = labels
+            .iter()
+            .map(String::as_str)
+            .zip(reports.iter().map(|r| r.energy_kwh))
+            .collect();
+        let cells: Vec<Vec<Option<f64>>> = min_grid
+            .iter()
+            .map(|lo| {
+                max_grid
+                    .iter()
+                    .map(|hi| by_label.get(format!("λ{lo}-{hi}").as_str()).copied())
+                    .collect()
+            })
+            .collect();
+        let row_labels: Vec<String> = min_grid.iter().map(|v| format!("λmin {v}")).collect();
+        let col_labels: Vec<String> = max_grid.iter().map(|v| v.to_string()).collect();
+        out.push_str("\nenergy surface (kWh):\n");
+        out.push_str(&heatmap(&row_labels, &col_labels, &cells));
+    }
+    Ok(out)
+}
+
+fn trace_cmd(tokens: &[String]) -> Result<String, CliError> {
+    let Some((sub, rest)) = tokens.split_first() else {
+        return Err(CliError::Usage(
+            "usage: eards trace <generate|info> ...".into(),
+        ));
+    };
+    let args = parse_common(rest)?;
+    match sub.as_str() {
+        "generate" => {
+            let span = if let Some(h) = args.get_opt::<u64>("hours")? {
+                SimDuration::from_hours(h)
+            } else {
+                SimDuration::from_days(args.get::<u64>("days", 7)?)
+            };
+            let cfg = SynthConfig {
+                span,
+                ..SynthConfig::grid5000_week()
+            }
+            .with_load_factor(args.get::<f64>("load-factor", 1.0)?);
+            let trace = generate(&cfg, args.get::<u64>("trace-seed", 7)?);
+            let text = write_swf(&trace);
+            match args.value("out") {
+                Some(path) => {
+                    std::fs::write(path, &text)?;
+                    Ok(format!(
+                        "wrote {} jobs ({:.0} CPU·h) to {path}\n",
+                        trace.len(),
+                        trace.stats().total_cpu_hours
+                    ))
+                }
+                None => Ok(text),
+            }
+        }
+        "info" => {
+            let Some(path) = args.positionals().first() else {
+                return Err(CliError::Usage("usage: eards trace info <FILE.swf>".into()));
+            };
+            let text = std::fs::read_to_string(path)?;
+            let trace = parse_swf(&text, &SwfOptions::default())
+                .map_err(|e| CliError::Usage(format!("{path}: {e}")))?;
+            let s = trace.stats();
+            let mut t = Table::new(["metric", "value"]);
+            t.row(["jobs".to_string(), s.jobs.to_string()]);
+            t.row(["span".to_string(), format!("{}", s.span)]);
+            t.row(["total CPU·hours".to_string(), fnum(s.total_cpu_hours, 1)]);
+            t.row([
+                "avg offered cores".to_string(),
+                fnum(s.avg_offered_cores, 2),
+            ]);
+            t.row(["mean runtime (s)".to_string(), fnum(s.mean_runtime_secs, 0)]);
+            t.row([
+                "max CPU demand (%)".to_string(),
+                s.max_cpu_demand.to_string(),
+            ]);
+            let mut out = String::new();
+            if let Some(a) = analyze(&trace) {
+                t.row(["interarrival CV".to_string(), fnum(a.interarrival_cv, 2)]);
+                t.row(["largest batch".to_string(), a.max_batch.to_string()]);
+                t.row([
+                    "mass in busiest 10% hours".to_string(),
+                    format!("{:.0}%", 100.0 * a.peak_hour_mass),
+                ]);
+                t.row([
+                    "work in largest 10% jobs".to_string(),
+                    format!("{:.0}%", 100.0 * a.top_decile_work_share),
+                ]);
+                if !args.switch("csv") {
+                    let hourly: Vec<f64> = a.hourly_arrivals.iter().map(|&n| n as f64).collect();
+                    out = format!(
+                        "
+arrivals per hour: {}
+",
+                        sparkline_fit(&hourly, 72)
+                    );
+                }
+            }
+            Ok(format!("{}{}", render(&t, args.switch("csv")), out))
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown trace subcommand {other:?} (generate, info)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(dispatch(&[]).unwrap().contains("USAGE"));
+        assert!(dispatch(&toks("help")).unwrap().contains("POLICIES"));
+        assert!(dispatch(&toks("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn run_produces_a_table() {
+        let out = dispatch(&toks("run --hosts 4 --hours 2 --policy bf")).unwrap();
+        assert!(out.contains("| BF"), "{out}");
+        assert!(out.contains("Pwr (kWh)"));
+    }
+
+    #[test]
+    fn run_with_economics_and_csv() {
+        let out = dispatch(&toks(
+            "run --hosts 4 --hours 2 --policy sb --economics --csv",
+        ))
+        .unwrap();
+        assert!(out.contains("Profit"), "{out}");
+        assert!(out.contains("SB,"), "csv format: {out}");
+    }
+
+    #[test]
+    fn compare_defaults_to_three_policies() {
+        let out = dispatch(&toks("compare --hosts 4 --hours 2")).unwrap();
+        for p in ["BF", "DBF", "SB"] {
+            assert!(out.contains(&format!("| {p}")), "{out}");
+        }
+    }
+
+    #[test]
+    fn sweep_reports_each_grid_point() {
+        let out = dispatch(&toks(
+            "sweep --hosts 4 --hours 2 --lambda-min-grid 20,40 --lambda-max-grid 80",
+        ))
+        .unwrap();
+        assert!(out.contains("λ20-80") && out.contains("λ40-80"), "{out}");
+    }
+
+    #[test]
+    fn trace_generate_and_info_round_trip() {
+        let dir = std::env::temp_dir().join("eards_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.swf");
+        let path_s = path.to_str().unwrap();
+        let out = dispatch(&toks(&format!(
+            "trace generate --hours 3 --trace-seed 5 --out {path_s}"
+        )))
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        let info = dispatch(&toks(&format!("trace info {path_s}"))).unwrap();
+        assert!(info.contains("total CPU·hours"), "{info}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bad_flags_are_reported() {
+        assert!(dispatch(&toks("run --lambda-min 95 --lambda-max 90")).is_err());
+        assert!(dispatch(&toks("run --policy warp9")).is_err());
+        assert!(dispatch(&toks("trace info /nonexistent/x.swf")).is_err());
+    }
+}

@@ -1,0 +1,12 @@
+//! The `eards` binary: thin wrapper over [`eards_cli::dispatch`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match eards_cli::dispatch(&argv) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Shared CLI flag handling: building the datacenter, workload and run
+//! configuration from common flags.
+
+use eards_core::{ScoreConfig, ScoreScheduler};
+use eards_datacenter::{paper_datacenter, small_datacenter, AdaptiveLambda, RunConfig};
+use eards_model::{HostClass, HostSpec, Policy};
+use eards_policies::{BackfillingPolicy, DynamicBackfillingPolicy, RandomPolicy, RoundRobinPolicy};
+use eards_sim::SimDuration;
+use eards_workload::{generate, parse_swf, SwfOptions, SynthConfig, Trace};
+
+use crate::args::{ArgError, Args};
+
+/// CLI-level errors.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument problem.
+    Args(ArgError),
+    /// Free-form usage problem.
+    Usage(String),
+    /// I/O problem.
+    Io(std::io::Error),
+}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Usage(s) => write!(f, "{s}"),
+            CliError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The flags shared by `run`, `compare` and `sweep`.
+pub const COMMON_VALUED: &[&str] = &[
+    "hosts",
+    "days",
+    "hours",
+    "seed",
+    "trace-seed",
+    "load-factor",
+    "trace",
+    "lambda-min",
+    "lambda-max",
+    "adaptive",
+    "checkpoint-mins",
+    "policy",
+    "policies",
+    "power-series",
+    "out",
+    "lambda-min-grid",
+    "lambda-max-grid",
+];
+
+/// The boolean switches shared by the simulation commands.
+pub const COMMON_SWITCHES: &[&str] = &["paper-dc", "failures", "economics", "csv"];
+
+/// Builds a policy by CLI name.
+pub fn make_policy(name: &str, seed: u64) -> Result<Box<dyn Policy>, CliError> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "rd" | "random" => Box::new(RandomPolicy::new(seed)),
+        "rr" | "round-robin" => Box::new(RoundRobinPolicy::new()),
+        "bf" | "backfilling" => Box::new(BackfillingPolicy::new()),
+        "dbf" => Box::new(DynamicBackfillingPolicy::new()),
+        "sb0" => Box::new(ScoreScheduler::new(ScoreConfig::sb0())),
+        "sb1" => Box::new(ScoreScheduler::new(ScoreConfig::sb1())),
+        "sb2" => Box::new(ScoreScheduler::new(ScoreConfig::sb2())),
+        "sb" => Box::new(ScoreScheduler::new(ScoreConfig::sb())),
+        "sb-ext" | "full" => Box::new(ScoreScheduler::new(ScoreConfig::full())),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown policy {other:?} (rd, rr, bf, dbf, sb0, sb1, sb2, sb, sb-ext)"
+            )))
+        }
+    })
+}
+
+/// Builds the host list from `--hosts N` / `--paper-dc`.
+pub fn build_hosts(args: &Args) -> Result<Vec<HostSpec>, CliError> {
+    if args.switch("paper-dc") {
+        return Ok(paper_datacenter());
+    }
+    let n = args.get::<u32>("hosts", 20)?;
+    if n == 0 {
+        return Err(CliError::Usage("--hosts must be positive".into()));
+    }
+    Ok(small_datacenter(n, HostClass::Medium))
+}
+
+/// Builds the workload from `--trace FILE.swf` or the synthetic generator
+/// (`--days/--hours`, `--trace-seed`, `--load-factor`).
+pub fn build_trace(args: &Args) -> Result<Trace, CliError> {
+    if let Some(path) = args.value("trace") {
+        let text = std::fs::read_to_string(path)?;
+        return parse_swf(&text, &SwfOptions::default())
+            .map_err(|e| CliError::Usage(format!("{path}: {e}")));
+    }
+    let span = if let Some(h) = args.get_opt::<u64>("hours")? {
+        SimDuration::from_hours(h)
+    } else {
+        SimDuration::from_days(args.get::<u64>("days", 1)?)
+    };
+    let factor = args.get::<f64>("load-factor", 1.0)?;
+    if factor <= 0.0 {
+        return Err(CliError::Usage("--load-factor must be positive".into()));
+    }
+    let cfg = SynthConfig {
+        span,
+        ..SynthConfig::grid5000_week()
+    }
+    .with_load_factor(factor);
+    Ok(generate(&cfg, args.get::<u64>("trace-seed", 7)?))
+}
+
+/// Builds the run configuration from the λ/failure/checkpoint flags.
+pub fn build_run_config(args: &Args) -> Result<RunConfig, CliError> {
+    let lo = args.get::<u32>("lambda-min", 30)?;
+    let hi = args.get::<u32>("lambda-max", 90)?;
+    if lo >= hi {
+        return Err(CliError::Usage(format!(
+            "--lambda-min {lo} must be below --lambda-max {hi}"
+        )));
+    }
+    let mut cfg = RunConfig::default().with_lambdas(lo, hi);
+    cfg.seed = args.get::<u64>("seed", cfg.seed)?;
+    cfg.failures = args.switch("failures");
+    if let Some(mins) = args.get_opt::<u64>("checkpoint-mins")? {
+        cfg.checkpoint_period = Some(SimDuration::from_mins(mins));
+    }
+    if let Some(target) = args.get_opt::<f64>("adaptive")? {
+        if !(0.0..=100.0).contains(&target) {
+            return Err(CliError::Usage("--adaptive target must be 0–100".into()));
+        }
+        cfg.adaptive_lambda = Some(AdaptiveLambda {
+            target_satisfaction: target,
+            ..AdaptiveLambda::default()
+        });
+    }
+    cfg.record_power_series = args.value("power-series").is_some();
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::ArgSpec;
+
+    fn parse(s: &str) -> Args {
+        ArgSpec::new(COMMON_VALUED, COMMON_SWITCHES)
+            .parse(s.split_whitespace().map(String::from))
+            .unwrap()
+    }
+
+    #[test]
+    fn default_setup() {
+        let a = parse("");
+        assert_eq!(build_hosts(&a).unwrap().len(), 20);
+        let t = build_trace(&a).unwrap();
+        assert!(t.len() > 10, "a day of load");
+        let cfg = build_run_config(&a).unwrap();
+        assert_eq!(cfg.lambda_min, 0.30);
+        assert!(!cfg.failures);
+    }
+
+    #[test]
+    fn paper_dc_and_lambdas() {
+        let a = parse("--paper-dc --lambda-min 40 --lambda-max 95 --failures");
+        assert_eq!(build_hosts(&a).unwrap().len(), 100);
+        let cfg = build_run_config(&a).unwrap();
+        assert_eq!(cfg.lambda_min, 0.40);
+        assert_eq!(cfg.lambda_max, 0.95);
+        assert!(cfg.failures);
+    }
+
+    #[test]
+    fn hours_override_days() {
+        let a = parse("--hours 2");
+        let t = build_trace(&a).unwrap();
+        assert!(t.span() <= SimDuration::from_hours(2));
+    }
+
+    #[test]
+    fn adaptive_flag() {
+        let a = parse("--adaptive 98.5");
+        let cfg = build_run_config(&a).unwrap();
+        assert_eq!(cfg.adaptive_lambda.unwrap().target_satisfaction, 98.5);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(build_run_config(&parse("--lambda-min 90 --lambda-max 30")).is_err());
+        assert!(build_hosts(&parse("--hosts 0")).is_err());
+        assert!(build_trace(&parse("--load-factor -1")).is_err());
+        assert!(make_policy("quantum", 0).is_err());
+    }
+
+    #[test]
+    fn all_policies_constructible() {
+        for p in ["rd", "rr", "bf", "dbf", "sb0", "sb1", "sb2", "sb", "sb-ext"] {
+            assert!(make_policy(p, 1).is_ok(), "{p}");
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Configuration of the score-based scheduler.
+//!
+//! §V evaluates a family of configurations that enable the penalties
+//! incrementally:
+//!
+//! * **SB0** — `P_req` + `P_res` + `P_pwr` (the basic consolidating
+//!   variant compared against Backfilling in Table II);
+//! * **SB1** — SB0 + `P_virt` (creation/migration overheads, Table III);
+//! * **SB2** — SB1 + `P_conc` (operation concurrency, Table III);
+//! * **SB** — SB2 with migration enabled (Table IV);
+//! * **full** — SB + the `P_SLA` and `P_fault` extensions the paper
+//!   defines (§III-A.5/6) but leaves to future work — implemented here.
+
+/// Tunable parameters and penalty switches of the score-based scheduler.
+#[derive(Debug, Clone)]
+pub struct ScoreConfig {
+    /// Display name override (defaults to the variant name).
+    pub name: String,
+    /// Enable `P_virt` (creation + migration overhead penalties).
+    pub virt_penalty: bool,
+    /// Enable `P_conc` (in-flight-operation concurrency penalties).
+    pub conc_penalty: bool,
+    /// Enable `P_SLA` (dynamic SLA enforcement — extension).
+    pub sla_penalty: bool,
+    /// Enable `P_fault` (reliability — extension).
+    pub fault_penalty: bool,
+    /// Consider migrating running VMs (otherwise placement-only).
+    pub migration: bool,
+    /// `C_e`: cost of keeping an under-used host (§III-A.4). The paper's
+    /// experiments use 20 (and sweep 0 / 20 / 60 in Table V).
+    pub c_empty: f64,
+    /// `C_f`: reward per unit occupation for filling a host. The paper
+    /// uses 40 (sweeping 40 / 40 / 100 in Table V).
+    pub c_fill: f64,
+    /// `TH_empty`: a host with this many VMs or fewer counts as emptiable.
+    /// The paper uses 1.
+    pub th_empty: usize,
+    /// `C_sla`: cost of a (recoverable) SLA violation.
+    pub c_sla: f64,
+    /// `TH_SLA`: fulfilment at or below this is an unrecoverable violation
+    /// (infinite penalty).
+    pub th_sla: f64,
+    /// `C_fail`: cost of losing a VM to a host failure.
+    pub c_fail: f64,
+    /// Hill-climbing iteration limit per scheduling round (§III-B's
+    /// "maximum number of algorithm iterations").
+    pub max_moves: usize,
+    /// Minimum score improvement a *migration* must deliver to be applied
+    /// (creations are exempt: allocating queued VMs always dominates).
+    /// §III-A.4: "C_f tries to compensate the migration cost" — this
+    /// threshold is the corresponding hysteresis that keeps marginal
+    /// back-and-forth moves from accumulating.
+    pub min_migration_gain: f64,
+}
+
+impl ScoreConfig {
+    /// SB0: hardware/software + resource requirements + power efficiency.
+    pub fn sb0() -> Self {
+        ScoreConfig {
+            name: "SB0".into(),
+            virt_penalty: false,
+            conc_penalty: false,
+            sla_penalty: false,
+            fault_penalty: false,
+            migration: false,
+            c_empty: 20.0,
+            c_fill: 40.0,
+            th_empty: 1,
+            c_sla: 50.0,
+            th_sla: 0.3,
+            c_fail: 500.0,
+            max_moves: 32,
+            min_migration_gain: 30.0,
+        }
+    }
+
+    /// SB1 = SB0 + virtualization overheads.
+    pub fn sb1() -> Self {
+        ScoreConfig {
+            name: "SB1".into(),
+            virt_penalty: true,
+            ..Self::sb0()
+        }
+    }
+
+    /// SB2 = SB1 + concurrency overheads.
+    pub fn sb2() -> Self {
+        ScoreConfig {
+            name: "SB2".into(),
+            conc_penalty: true,
+            ..Self::sb1()
+        }
+    }
+
+    /// SB = SB2 + migration (the full Table IV configuration).
+    pub fn sb() -> Self {
+        ScoreConfig {
+            name: "SB".into(),
+            migration: true,
+            ..Self::sb2()
+        }
+    }
+
+    /// SB plus the paper's future-work extensions (`P_SLA`, `P_fault`).
+    pub fn full() -> Self {
+        ScoreConfig {
+            name: "SB+ext".into(),
+            sla_penalty: true,
+            fault_penalty: true,
+            ..Self::sb()
+        }
+    }
+
+    /// Overrides the consolidation cost pair `(C_e, C_f)` (Table V sweeps
+    /// these).
+    pub fn with_consolidation_costs(mut self, c_empty: f64, c_fill: f64) -> Self {
+        self.c_empty = c_empty;
+        self.c_fill = c_fill;
+        self
+    }
+
+    /// Overrides the display name.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_enable_penalties_incrementally() {
+        let sb0 = ScoreConfig::sb0();
+        assert!(!sb0.virt_penalty && !sb0.conc_penalty && !sb0.migration);
+        let sb1 = ScoreConfig::sb1();
+        assert!(sb1.virt_penalty && !sb1.conc_penalty);
+        let sb2 = ScoreConfig::sb2();
+        assert!(sb2.virt_penalty && sb2.conc_penalty && !sb2.migration);
+        let sb = ScoreConfig::sb();
+        assert!(sb.migration && !sb.sla_penalty);
+        let full = ScoreConfig::full();
+        assert!(full.sla_penalty && full.fault_penalty);
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let sb = ScoreConfig::sb();
+        assert_eq!(sb.c_empty, 20.0);
+        assert_eq!(sb.c_fill, 40.0);
+        assert_eq!(sb.th_empty, 1);
+    }
+
+    #[test]
+    fn builders() {
+        let c = ScoreConfig::sb()
+            .with_consolidation_costs(60.0, 100.0)
+            .named("aggressive");
+        assert_eq!(c.c_empty, 60.0);
+        assert_eq!(c.c_fill, 100.0);
+        assert_eq!(c.name, "aggressive");
+    }
+}

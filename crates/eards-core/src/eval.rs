@@ -1,0 +1,460 @@
+//! Score evaluation over a *hypothetical* placement.
+//!
+//! The matrix solver (§III-B) explores moves before committing any of them,
+//! so scores must be computable against a what-if state: the real cluster
+//! plus a tentative placement of the VMs under consideration. [`Eval`]
+//! keeps that overlay (per-host committed resources and VM counts) and
+//! computes the full score
+//!
+//! `Score(h, vm) = P_req + P_res + P_virt + P_conc + P_pwr + P_SLA + P_fault`
+//!
+//! with each term exactly as §III-A defines it.
+
+use eards_model::{Cluster, HostId, PowerState, Resources, VmId};
+use eards_sim::SimTime;
+
+use crate::config::ScoreConfig;
+use crate::score::Score;
+
+/// Score evaluator over the cluster plus a tentative placement of the
+/// matrix VMs.
+pub struct Eval<'a> {
+    cluster: &'a Cluster,
+    cfg: &'a ScoreConfig,
+    now: SimTime,
+    /// Matrix columns.
+    vms: Vec<VmId>,
+    /// Original placement of each matrix VM (`None` = virtual host).
+    original: Vec<Option<usize>>,
+    /// Current hypothetical placement.
+    placement: Vec<Option<usize>>,
+    /// Committed resources per host under the hypothesis.
+    committed: Vec<Resources>,
+    /// VM count per host under the hypothesis (resident + incoming).
+    vm_count: Vec<usize>,
+}
+
+impl<'a> Eval<'a> {
+    /// Builds an evaluator for the given matrix VMs, starting from their
+    /// real placements.
+    pub fn new(cluster: &'a Cluster, cfg: &'a ScoreConfig, now: SimTime, vms: Vec<VmId>) -> Self {
+        let m = cluster.num_hosts();
+        let committed: Vec<Resources> = (0..m)
+            .map(|i| cluster.committed(HostId(i as u32)))
+            .collect();
+        let vm_count: Vec<usize> = cluster
+            .hosts()
+            .iter()
+            .map(|h| h.resident.len() + h.incoming.len())
+            .collect();
+        let original: Vec<Option<usize>> = vms
+            .iter()
+            .map(|&v| cluster.vm(v).host.map(|h| h.raw() as usize))
+            .collect();
+        Eval {
+            cluster,
+            cfg,
+            now,
+            placement: original.clone(),
+            original,
+            vms,
+            committed,
+            vm_count,
+        }
+    }
+
+    /// The configured migration hysteresis (see
+    /// [`ScoreConfig::min_migration_gain`]).
+    pub fn min_migration_gain(&self) -> f64 {
+        self.cfg.min_migration_gain
+    }
+
+    /// Number of hosts (matrix rows minus the virtual host).
+    pub fn num_hosts(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// Number of matrix VMs (columns).
+    pub fn num_vms(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// The matrix VMs.
+    pub fn vms(&self) -> &[VmId] {
+        &self.vms
+    }
+
+    /// Original placement of column `v`.
+    pub fn original_of(&self, v: usize) -> Option<usize> {
+        self.original[v]
+    }
+
+    /// Hypothetical placement of column `v`.
+    pub fn placement_of(&self, v: usize) -> Option<usize> {
+        self.placement[v]
+    }
+
+    /// Cost of VM `v` where it currently (hypothetically) sits; infinite on
+    /// the virtual host, which makes allocating it maximally beneficial.
+    pub fn current_cost(&self, v: usize) -> Score {
+        match self.placement[v] {
+            Some(h) => self.score(h, v),
+            None => Score::INFINITE,
+        }
+    }
+
+    /// Moves VM `v` to host `h` in the hypothesis.
+    pub fn apply_move(&mut self, v: usize, h: usize) {
+        let req = self.cluster.vm(self.vms[v]).requested;
+        if let Some(old) = self.placement[v] {
+            self.committed[old] = Resources::new(
+                self.committed[old].cpu.saturating_sub(req.cpu),
+                eards_model::Mem(self.committed[old].mem.mib().saturating_sub(req.mem.mib())),
+            );
+            self.vm_count[old] -= 1;
+        }
+        self.committed[h] = self.committed[h].plus(req);
+        self.vm_count[h] += 1;
+        self.placement[v] = Some(h);
+    }
+
+    /// Occupation host `h` would have with VM `v` placed there (the
+    /// paper's `O(h, vm)`), under the current hypothesis.
+    fn occupation_with(&self, h: usize, v: usize) -> f64 {
+        let cap = self.cluster.host(HostId(h as u32)).spec.capacity();
+        let mut used = self.committed[h];
+        if self.placement[v] != Some(h) {
+            used = used.plus(self.cluster.vm(self.vms[v]).requested);
+        }
+        used.occupation_in(cap)
+    }
+
+    /// VM count host `h` would have with `v` placed there.
+    fn count_with(&self, h: usize, v: usize) -> usize {
+        self.vm_count[h] + usize::from(self.placement[v] != Some(h))
+    }
+
+    /// The full score of hosting matrix VM `v` on host `h` under the
+    /// current hypothesis.
+    pub fn score(&self, h: usize, v: usize) -> Score {
+        let host = self.cluster.host(HostId(h as u32));
+        let vm = self.cluster.vm(self.vms[v]);
+
+        // P_req (§III-A.1) — plus the basic physical precondition that the
+        // host is actually up (an off host "cannot fulfil" anything).
+        if host.power != PowerState::On || !host.spec.satisfies(&vm.job.requirements) {
+            return Score::INFINITE;
+        }
+
+        // P_res (§III-A.2).
+        let occupation = self.occupation_with(h, v);
+        if occupation > 1.0 {
+            return Score::INFINITE;
+        }
+
+        let mut total = Score::ZERO;
+
+        // P_virt (§III-A.3).
+        if self.cfg.virt_penalty {
+            total += self.p_virt(h, v);
+        }
+
+        // P_conc (§III-A.3, concurrency).
+        if self.cfg.conc_penalty {
+            total += self.p_conc(h, v);
+        }
+
+        // P_pwr (§III-A.4) — always on: it is what makes the policy
+        // consolidate at all (present in every SB variant).
+        total += self.p_pwr(h, v, occupation);
+
+        // P_SLA (§III-A.5, extension).
+        if self.cfg.sla_penalty {
+            let p = self.p_sla(h, v);
+            if p.is_infinite() {
+                return Score::INFINITE;
+            }
+            total += p;
+        }
+
+        // P_fault (§III-A.6, extension).
+        if self.cfg.fault_penalty {
+            let rel = host.spec.reliability;
+            total += Score::finite(((1.0 - rel) - vm.job.fault_tolerance) * self.cfg.c_fail);
+        }
+
+        total
+    }
+
+    /// Creation / migration overhead penalty. VMs with an operation already
+    /// in flight never appear as matrix columns, so the `∞` branch of the
+    /// paper's `P_virt` is realized by exclusion rather than by a score.
+    fn p_virt(&self, h: usize, v: usize) -> Score {
+        if self.placement[v] == Some(h) {
+            return Score::ZERO;
+        }
+        let host = self.cluster.host(HostId(h as u32));
+        let vm = self.cluster.vm(self.vms[v]);
+        if self.original[v].is_none() {
+            // New VM: creation cost on this host.
+            return Score::finite(host.spec.class.creation_cost().as_secs_f64());
+        }
+        // Migration cost with the remaining-time discount: migrating a VM
+        // that (per the user estimate) finishes soon is heavily penalized.
+        let cm = host.spec.class.migration_cost().as_secs_f64();
+        let tr = vm.user_remaining_secs(self.now);
+        if tr < cm {
+            Score::finite(2.0 * cm)
+        } else {
+            Score::finite(cm * cm / (2.0 * tr))
+        }
+    }
+
+    /// Concurrency penalty: the summed cost of operations already running
+    /// on the host, charged to VMs that are not yet there (§III-A.3).
+    fn p_conc(&self, h: usize, v: usize) -> Score {
+        if self.placement[v] == Some(h) {
+            return Score::ZERO;
+        }
+        let host = self.cluster.host(HostId(h as u32));
+        let total: f64 = host.ops.iter().map(|op| op.cost().as_secs_f64()).sum();
+        Score::finite(total)
+    }
+
+    /// Power/consolidation penalty (§III-A.4):
+    /// `T_empty(h)·C_e − O(h, vm)·C_f`.
+    fn p_pwr(&self, h: usize, v: usize, occupation: f64) -> Score {
+        let count = self.count_with(h, v);
+        let t_empty = if count <= self.cfg.th_empty { 1.0 } else { 0.0 };
+        Score::finite(t_empty * self.cfg.c_empty - occupation * self.cfg.c_fill)
+    }
+
+    /// Dynamic SLA enforcement penalty (§III-A.5). Fulfilment is projected
+    /// for the *candidate* host from the CPU it could offer the VM.
+    fn p_sla(&self, h: usize, v: usize) -> Score {
+        let vm = self.cluster.vm(self.vms[v]);
+        let deadline = vm.job.deadline().as_secs_f64();
+        if deadline <= 0.0 {
+            return Score::finite(self.cfg.c_sla);
+        }
+        let cap = self.cluster.host(HostId(h as u32)).spec.cpu.as_f64();
+        let mut committed_cpu = self.committed[h].cpu.as_f64();
+        if self.placement[v] == Some(h) {
+            committed_cpu -= vm.requested.cpu.as_f64();
+        }
+        let free = (cap - committed_cpu).max(0.0);
+        let rate = vm.job.cpu.as_f64().min(free);
+        let elapsed = self.now.saturating_since(vm.job.submit).as_secs_f64();
+        let projected = if rate > 0.0 {
+            elapsed + vm.remaining_work() / rate
+        } else {
+            2.0 * deadline.max(elapsed)
+        };
+        let fulfillment = (deadline / projected).min(1.0);
+        if fulfillment >= 1.0 {
+            Score::ZERO
+        } else if fulfillment > self.cfg.th_sla || self.original[v].is_none() {
+            // Queued VMs are never scored ∞ here: an already-doomed job must
+            // still be placeable somewhere (the paper's virtual host would
+            // otherwise hold it forever).
+            Score::finite(self.cfg.c_sla)
+        } else {
+            Score::INFINITE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eards_model::{Cpu, HostClass, HostSpec, Job, JobId, Mem, Requirements};
+    use eards_sim::SimDuration;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn cluster(classes: &[HostClass]) -> Cluster {
+        Cluster::new(
+            classes
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| HostSpec::standard(HostId(i as u32), c))
+                .collect(),
+            PowerState::On,
+        )
+    }
+
+    fn job(id: u64, cpu: u32, secs: u64) -> Job {
+        Job::new(
+            JobId(id),
+            SimTime::ZERO,
+            Cpu(cpu),
+            Mem::gib(1),
+            SimDuration::from_secs(secs),
+            1.5,
+        )
+    }
+
+    #[test]
+    fn infeasible_hosts_score_infinite() {
+        let mut c = cluster(&[HostClass::Medium, HostClass::Medium]);
+        c.begin_power_off(HostId(1), t(0));
+        let vm = c.submit_job(job(1, 100, 600));
+        let cfg = ScoreConfig::sb0();
+        let eval = Eval::new(&c, &cfg, t(0), vec![vm]);
+        assert!(!eval.score(0, 0).is_infinite());
+        assert!(eval.score(1, 0).is_infinite(), "off host is infeasible");
+        assert_eq!(
+            eval.current_cost(0),
+            Score::INFINITE,
+            "queued = virtual host"
+        );
+    }
+
+    #[test]
+    fn p_req_rejects_unsatisfied_requirements() {
+        let mut c = cluster(&[HostClass::Medium]);
+        let mut j = job(1, 100, 600);
+        j.requirements = Requirements {
+            min_host_cpus: 8,
+            ..Requirements::ANY
+        };
+        let vm = c.submit_job(j);
+        let cfg = ScoreConfig::sb0();
+        let eval = Eval::new(&c, &cfg, t(0), vec![vm]);
+        assert!(eval.score(0, 0).is_infinite());
+    }
+
+    #[test]
+    fn p_res_rejects_overcommit() {
+        let mut c = cluster(&[HostClass::Medium]);
+        let a = c.submit_job(job(1, 300, 600));
+        c.start_creation(a, HostId(0), t(0), t(40));
+        c.finish_creation(a, t(40));
+        let b = c.submit_job(job(2, 200, 600));
+        let cfg = ScoreConfig::sb0();
+        let eval = Eval::new(&c, &cfg, t(40), vec![b]);
+        assert!(eval.score(0, 0).is_infinite(), "300+200 > 400");
+    }
+
+    #[test]
+    fn p_virt_charges_creation_cost_by_class() {
+        let mut c = cluster(&[HostClass::Fast, HostClass::Slow]);
+        let vm = c.submit_job(job(1, 100, 600));
+        let cfg = ScoreConfig::sb1();
+        let eval = Eval::new(&c, &cfg, t(0), vec![vm]);
+        let fast = eval.score(0, 0).value();
+        let slow = eval.score(1, 0).value();
+        // Same P_pwr on both (equal occupation/counts); creation cost
+        // differs by 60 − 30 = 30 s.
+        assert!((slow - fast - 30.0).abs() < 1e-9, "fast {fast} slow {slow}");
+    }
+
+    #[test]
+    fn p_virt_migration_discount_matches_formula() {
+        let mut c = cluster(&[HostClass::Medium, HostClass::Medium]);
+        let vm = c.submit_job(job(1, 100, 1000)); // Tu = 1000 s
+        c.start_creation(vm, HostId(0), t(0), t(40));
+        c.finish_creation(vm, t(40));
+        let cfg = ScoreConfig::sb(); // migration on, virt on
+                                     // At t = 200: Tr = 1000 − 200 = 800 ≥ Cm = 60 ⇒ Pm = 60²/(2·800) = 2.25.
+        let eval = Eval::new(&c, &cfg, t(200), vec![vm]);
+        let stay = eval.score(0, 0).value();
+        let mv = eval.score(1, 0).value();
+        // Both hosts end with 1 VM / same occupation ⇒ same P_pwr; the
+        // difference is exactly Pm.
+        assert!((mv - stay - 2.25).abs() < 1e-9, "stay {stay} move {mv}");
+
+        // At t = 950: Tr = 50 < Cm ⇒ Pm = 2·Cm = 120.
+        let eval = Eval::new(&c, &cfg, t(950), vec![vm]);
+        let stay = eval.score(0, 0).value();
+        let mv = eval.score(1, 0).value();
+        assert!((mv - stay - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p_conc_charges_inflight_ops_to_foreign_vms() {
+        let mut c = cluster(&[HostClass::Medium, HostClass::Medium]);
+        let a = c.submit_job(job(1, 100, 600));
+        c.start_creation(a, HostId(0), t(0), t(40)); // 40 s op in flight
+        let b = c.submit_job(job(2, 100, 600));
+        let cfg = ScoreConfig::sb2();
+        let eval = Eval::new(&c, &cfg, t(10), vec![b]);
+        let busy = eval.score(0, 0).value();
+        let idle = eval.score(1, 0).value();
+        // Host 0 carries the 40 s concurrency penalty but also one more VM
+        // (count 2 > TH_empty ⇒ no C_e) and double occupation (bigger C_f
+        // reward): busy − idle = 40 − C_e − 0.25·C_f = 40 − 20 − 10 = 10.
+        assert!((busy - idle - 10.0).abs() < 1e-9, "busy {busy} idle {idle}");
+    }
+
+    #[test]
+    fn p_pwr_prefers_fuller_hosts() {
+        let mut c = cluster(&[HostClass::Medium, HostClass::Medium]);
+        let a = c.submit_job(job(1, 200, 6000));
+        c.start_creation(a, HostId(0), t(0), t(40));
+        c.finish_creation(a, t(40));
+        let b = c.submit_job(job(2, 100, 600));
+        let cfg = ScoreConfig::sb0();
+        let eval = Eval::new(&c, &cfg, t(40), vec![b]);
+        let full = eval.score(0, 0); // host with the 200% VM
+        let empty = eval.score(1, 0); // empty host
+        assert!(full < empty, "consolidation must win: {full} vs {empty}");
+        // Quantitatively: full = −0.75·40 = −30 (2 VMs ⇒ no C_e);
+        // empty = 20 − 0.25·40 = 10 (1 VM ⇒ emptiable).
+        assert!((full.value() + 30.0).abs() < 1e-9);
+        assert!((empty.value() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p_sla_bands() {
+        let mut c = cluster(&[HostClass::Medium, HostClass::Medium]);
+        // Load host 0 to 400 so a newcomer would get no CPU there.
+        let a = c.submit_job(job(1, 400, 6000));
+        c.start_creation(a, HostId(0), t(0), t(40));
+        c.finish_creation(a, t(40));
+        let b = c.submit_job(job(2, 100, 1000));
+        let cfg = ScoreConfig::full();
+        let eval = Eval::new(&c, &cfg, t(40), vec![b]);
+        // Host 0 is occupation-infeasible anyway; host 1 offers full rate
+        // ⇒ fulfilment 1 ⇒ no SLA penalty, only P_pwr (+P_fault = 0) + Cc.
+        let s1 = eval.score(1, 0).value();
+        assert!((s1 - (20.0 - 0.25 * 40.0 + 40.0)).abs() < 1e-9, "{s1}");
+    }
+
+    #[test]
+    fn p_fault_scales_with_reliability_gap() {
+        let mut specs = vec![
+            HostSpec::standard(HostId(0), HostClass::Medium),
+            HostSpec::standard(HostId(1), HostClass::Medium),
+        ];
+        specs[1].reliability = 0.9;
+        let mut c = Cluster::new(specs, PowerState::On);
+        let vm = c.submit_job(job(1, 100, 600));
+        let cfg = ScoreConfig::full();
+        let eval = Eval::new(&c, &cfg, t(0), vec![vm]);
+        let reliable = eval.score(0, 0).value();
+        let flaky = eval.score(1, 0).value();
+        // Identical except P_fault = (0.1 − 0)·500 = 50.
+        assert!((flaky - reliable - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn apply_move_updates_hypothesis() {
+        let mut c = cluster(&[HostClass::Medium, HostClass::Medium]);
+        let a = c.submit_job(job(1, 200, 600));
+        let b = c.submit_job(job(2, 300, 600));
+        let cfg = ScoreConfig::sb0();
+        let mut eval = Eval::new(&c, &cfg, t(0), vec![a, b]);
+        eval.apply_move(0, 0); // a → host 0
+        assert_eq!(eval.placement_of(0), Some(0));
+        assert_eq!(eval.current_cost(0), eval.score(0, 0));
+        // b (300) no longer fits host 0 beside a (200).
+        assert!(eval.score(0, 1).is_infinite());
+        assert!(!eval.score(1, 1).is_infinite());
+        // Moving a away frees host 0 again.
+        eval.apply_move(0, 1);
+        assert!(!eval.score(0, 1).is_infinite());
+    }
+}

@@ -1,0 +1,408 @@
+//! The Score-Based Scheduler — the paper's contribution, as a
+//! [`Policy`].
+//!
+//! Each scheduling round (§III-A): collect the candidate VMs (the
+//! virtual-host queue, plus every running VM when migration is enabled;
+//! VMs with in-flight operations are pinned and excluded), build the
+//! score matrix through [`Eval`], hill-climb it with [`solve`], and emit
+//! the resulting create/migrate actions. Power on/off candidate ranking
+//! (§III-C) is driven by aggregated matrix rows.
+
+use eards_model::{
+    Action, Cluster, HostId, Policy, ScheduleContext, ScheduleReason, VmId, VmState,
+};
+
+use crate::config::ScoreConfig;
+use crate::eval::Eval;
+use crate::solver::solve;
+
+/// The score-based scheduling policy (SB0/SB1/SB2/SB depending on its
+/// [`ScoreConfig`]).
+///
+/// ```
+/// use eards_core::{ScoreConfig, ScoreScheduler};
+/// use eards_model::*;
+/// use eards_sim::{SimDuration, SimTime};
+///
+/// let mut cluster = Cluster::new(
+///     vec![
+///         HostSpec::standard(HostId(0), HostClass::Fast),
+///         HostSpec::standard(HostId(1), HostClass::Slow),
+///     ],
+///     PowerState::On,
+/// );
+/// let vm = cluster.submit_job(Job::new(
+///     JobId(0), SimTime::ZERO, Cpu(100), Mem::gib(1),
+///     SimDuration::from_secs(600), 1.5,
+/// ));
+///
+/// // SB1 weighs creation cost: the fast node (C_c = 30 s) wins.
+/// let mut sched = ScoreScheduler::new(ScoreConfig::sb1());
+/// let ctx = ScheduleContext { now: SimTime::ZERO, reason: ScheduleReason::VmArrived };
+/// assert_eq!(
+///     sched.schedule(&cluster, &ctx),
+///     vec![Action::Create { vm, host: HostId(0) }],
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScoreScheduler {
+    /// Penalty switches and cost parameters.
+    pub cfg: ScoreConfig,
+}
+
+impl ScoreScheduler {
+    /// Creates a scheduler with the given configuration.
+    pub fn new(cfg: ScoreConfig) -> Self {
+        ScoreScheduler { cfg }
+    }
+
+    /// The matrix columns for the current round: the queue, plus — when
+    /// migration is enabled — running VMs hosted on nodes the
+    /// consolidation force actively wants drained. §III-A.4 punishes VMs
+    /// on under-used hosts "since we want these VMs to move away"; a host
+    /// qualifies when it is *emptiable* (≤ `TH_empty` VMs) or when its
+    /// occupation is below `C_e / C_f` — the point where the emptiable
+    /// penalty would outweigh the fill reward, so candidacy scales with
+    /// the configured aggressiveness (Table V: higher `C_e`/`C_f` pairs
+    /// migrate more). VMs on well-filled hosts have no consolidation
+    /// motive; restricting the columns keeps migration counts in a sane
+    /// regime instead of re-evaluating the whole datacenter every round.
+    fn candidate_vms(&self, cluster: &Cluster, migrate_now: bool) -> Vec<VmId> {
+        let mut cols: Vec<VmId> = cluster.queue().to_vec();
+        if self.cfg.migration && migrate_now {
+            let occ_bar = if self.cfg.c_fill > 0.0 {
+                self.cfg.c_empty / self.cfg.c_fill
+            } else {
+                0.0
+            };
+            let mut running: Vec<VmId> = cluster
+                .hosts()
+                .iter()
+                .filter(|h| {
+                    h.resident.len() + h.incoming.len() <= self.cfg.th_empty
+                        || cluster.occupation(h.spec.id) < occ_bar
+                })
+                .flat_map(|h| h.resident.iter().copied())
+                .filter(|&v| cluster.vm(v).state == VmState::Running)
+                .collect();
+            running.sort_unstable(); // deterministic column order
+            cols.extend(running);
+        }
+        cols
+    }
+}
+
+impl Policy for ScoreScheduler {
+    fn name(&self) -> String {
+        self.cfg.name.clone()
+    }
+
+    fn uses_migration(&self) -> bool {
+        self.cfg.migration
+    }
+
+    fn schedule(&mut self, cluster: &Cluster, ctx: &ScheduleContext) -> Vec<Action> {
+        // §I: the policy "periodically calculates whether to move jobs" —
+        // migration columns enter the matrix only on periodic consolidation
+        // rounds (and SLA-violation rounds, where a move is the remedy);
+        // event-triggered rounds only place the queue.
+        let migrate_now = matches!(
+            ctx.reason,
+            ScheduleReason::Periodic | ScheduleReason::SlaViolation
+        );
+        let cols = self.candidate_vms(cluster, migrate_now);
+        if cols.is_empty() {
+            return Vec::new();
+        }
+        let mut eval = Eval::new(cluster, &self.cfg, ctx.now, cols);
+        let sol = solve(&mut eval, self.cfg.max_moves);
+
+        // Each column moves at most once, so the move list maps directly
+        // to actions; emission order follows solver order (most beneficial
+        // first), which the driver preserves.
+        sol.moves
+            .iter()
+            .map(|&(v, h)| {
+                let vm = eval.vms()[v];
+                let host = HostId(h as u32);
+                match eval.original_of(v) {
+                    None => Action::Create { vm, host },
+                    Some(_) => Action::Migrate { vm, to: host },
+                }
+            })
+            .collect()
+    }
+
+    /// §III-C: victims for power-off are picked by the aggregated matrix
+    /// row "taking into account the number of infinity scores. Those nodes
+    /// with a higher score are selected to be turned off."
+    fn rank_power_off(
+        &self,
+        cluster: &Cluster,
+        now: eards_sim::SimTime,
+        candidates: &[HostId],
+    ) -> Vec<HostId> {
+        let cols = self.candidate_vms(cluster, false);
+        let eval = Eval::new(cluster, &self.cfg, now, cols);
+        let mut scored: Vec<(usize, f64, HostId)> = candidates
+            .iter()
+            .map(|&h| {
+                let mut infs = 0usize;
+                let mut sum = 0.0;
+                for v in 0..eval.num_vms() {
+                    let s = eval.score(h.raw() as usize, v);
+                    if s.is_infinite() {
+                        infs += 1;
+                    } else {
+                        sum += s.value();
+                    }
+                }
+                (infs, sum, h)
+            })
+            .collect();
+        // More infeasible cells first, then higher aggregate cost, then
+        // higher id (turn off the "back" of the datacenter first).
+        scored.sort_by(|a, b| {
+            b.0.cmp(&a.0)
+                .then(b.1.partial_cmp(&a.1).expect("finite sums"))
+                .then(b.2.cmp(&a.2))
+        });
+        scored.into_iter().map(|(_, _, h)| h).collect()
+    }
+
+    /// §III-C: nodes to turn on are "selected according to a number of
+    /// parameters, including reliability, boot time, etc." Reliability
+    /// participates only when the `P_fault` extension is enabled — a
+    /// reliability-blind configuration must not secretly be
+    /// reliability-aware here.
+    fn rank_power_on(&self, cluster: &Cluster, candidates: &[HostId]) -> Vec<HostId> {
+        let mut ranked = candidates.to_vec();
+        let fault_aware = self.cfg.fault_penalty;
+        ranked.sort_by(|&a, &b| {
+            let sa = &cluster.host(a).spec;
+            let sb = &cluster.host(b).spec;
+            let rel = if fault_aware {
+                sb.reliability
+                    .partial_cmp(&sa.reliability)
+                    .expect("reliability is finite")
+            } else {
+                std::cmp::Ordering::Equal
+            };
+            rel.then(sa.class.boot_time().cmp(&sb.class.boot_time()))
+                .then(sa.class.creation_cost().cmp(&sb.class.creation_cost()))
+                .then(a.cmp(&b))
+        });
+        ranked
+    }
+}
+
+/// Convenience: the aggregate score a host row would contribute, exposed
+/// for diagnostics and tests.
+pub fn row_score(eval: &Eval<'_>, host: usize) -> (usize, f64) {
+    let mut infs = 0;
+    let mut sum = 0.0;
+    for v in 0..eval.num_vms() {
+        let s = eval.score(host, v);
+        if s.is_infinite() {
+            infs += 1;
+        } else {
+            sum += s.value();
+        }
+    }
+    (infs, sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eards_model::{Cpu, HostClass, HostSpec, Job, JobId, Mem, PowerState, ScheduleReason};
+    use eards_sim::{SimDuration, SimTime};
+
+    fn ctx(now: u64) -> ScheduleContext {
+        ScheduleContext {
+            now: SimTime::from_secs(now),
+            reason: ScheduleReason::Periodic,
+        }
+    }
+
+    fn cluster(classes: &[HostClass]) -> Cluster {
+        Cluster::new(
+            classes
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| HostSpec::standard(HostId(i as u32), c))
+                .collect(),
+            PowerState::On,
+        )
+    }
+
+    fn job(id: u64, cpu: u32, secs: u64) -> Job {
+        Job::new(
+            JobId(id),
+            SimTime::ZERO,
+            Cpu(cpu),
+            Mem::gib(1),
+            SimDuration::from_secs(secs),
+            1.5,
+        )
+    }
+
+    #[test]
+    fn sb0_consolidates_new_vms() {
+        let mut c = cluster(&[HostClass::Medium; 4]);
+        let a = c.submit_job(job(1, 200, 600));
+        let b = c.submit_job(job(2, 100, 600));
+        let mut sched = ScoreScheduler::new(ScoreConfig::sb0());
+        let actions = sched.schedule(&c, &ctx(0));
+        assert_eq!(actions.len(), 2);
+        let hosts: Vec<HostId> = actions
+            .iter()
+            .map(|a| match a {
+                Action::Create { host, .. } => *host,
+                _ => panic!("SB0 must not migrate"),
+            })
+            .collect();
+        assert_eq!(hosts[0], hosts[1], "both land on the same host");
+        let vms: Vec<VmId> = actions
+            .iter()
+            .map(|a| match a {
+                Action::Create { vm, .. } => *vm,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(vms.contains(&a) && vms.contains(&b));
+    }
+
+    #[test]
+    fn sb1_prefers_fast_creation_nodes() {
+        // Equal power situation, different creation costs: SB1 should pick
+        // the fast node; SB0 (no P_virt) is indifferent and picks the
+        // first-by-tiebreak.
+        let mut c = cluster(&[HostClass::Slow, HostClass::Fast]);
+        let vm = c.submit_job(job(1, 100, 600));
+        let mut sb1 = ScoreScheduler::new(ScoreConfig::sb1());
+        let actions = sb1.schedule(&c, &ctx(0));
+        assert_eq!(
+            actions,
+            vec![Action::Create {
+                vm,
+                host: HostId(1)
+            }],
+            "fast node (Cc=30) beats slow (Cc=60)"
+        );
+    }
+
+    #[test]
+    fn sb2_avoids_hosts_with_inflight_ops() {
+        let mut c = cluster(&[HostClass::Medium, HostClass::Medium]);
+        // Host 0 is creating a VM; host 1 is free but would be "emptiable".
+        let a = c.submit_job(job(1, 100, 600));
+        c.start_creation(a, HostId(0), SimTime::ZERO, SimTime::from_secs(40));
+        let b = c.submit_job(job(2, 100, 600));
+        let mut sb2 = ScoreScheduler::new(ScoreConfig::sb2());
+        let actions = sb2.schedule(&c, &ctx(10));
+        // Concurrency penalty (40) outweighs the consolidation edge
+        // (C_e + ΔO·C_f = 20 + 10): SB2 picks the idle host.
+        assert_eq!(
+            actions,
+            vec![Action::Create {
+                vm: b,
+                host: HostId(1)
+            }]
+        );
+
+        // SB1 (no P_conc) makes the opposite call — it stacks.
+        let mut sb1 = ScoreScheduler::new(ScoreConfig::sb1());
+        let actions = sb1.schedule(&c, &ctx(10));
+        assert_eq!(
+            actions,
+            vec![Action::Create {
+                vm: b,
+                host: HostId(0)
+            }]
+        );
+    }
+
+    #[test]
+    fn sb_emits_consolidation_migrations() {
+        let mut c = cluster(&[HostClass::Medium, HostClass::Medium]);
+        for (i, h) in [(0u64, HostId(0)), (1, HostId(1))] {
+            let vm = c.submit_job(job(i, 150, 100_000));
+            c.start_creation(vm, h, SimTime::ZERO, SimTime::from_secs(40));
+            c.finish_creation(vm, SimTime::from_secs(40));
+        }
+        let mut sb = ScoreScheduler::new(ScoreConfig::sb());
+        let actions = sb.schedule(&c, &ctx(100));
+        assert_eq!(actions.len(), 1);
+        assert!(
+            matches!(actions[0], Action::Migrate { .. }),
+            "two half-empty hosts must merge: {actions:?}"
+        );
+    }
+
+    #[test]
+    fn migration_suppressed_near_completion() {
+        // Same situation, but the jobs are about to finish (T_r small):
+        // P_m = 2·C_m dwarfs the consolidation gain, so SB leaves them.
+        let mut c = cluster(&[HostClass::Medium, HostClass::Medium]);
+        for (i, h) in [(0u64, HostId(0)), (1, HostId(1))] {
+            let vm = c.submit_job(job(i, 150, 130));
+            c.start_creation(vm, h, SimTime::ZERO, SimTime::from_secs(40));
+            c.finish_creation(vm, SimTime::from_secs(40));
+        }
+        let mut sb = ScoreScheduler::new(ScoreConfig::sb());
+        let actions = sb.schedule(&c, &ctx(100)); // T_r = 30 s < C_m = 60 s
+        assert!(actions.is_empty(), "{actions:?}");
+    }
+
+    #[test]
+    fn queued_vm_with_no_feasible_host_stays_queued() {
+        let mut c = cluster(&[HostClass::Medium]);
+        let a = c.submit_job(job(1, 400, 6000));
+        c.start_creation(a, HostId(0), SimTime::ZERO, SimTime::from_secs(40));
+        c.finish_creation(a, SimTime::from_secs(40));
+        let _b = c.submit_job(job(2, 100, 600));
+        let mut sb = ScoreScheduler::new(ScoreConfig::sb());
+        let actions = sb.schedule(&c, &ctx(50));
+        assert!(actions.is_empty(), "full datacenter: nothing placeable");
+    }
+
+    #[test]
+    fn rank_power_on_prefers_reliable_fast_booting() {
+        let mut specs = vec![
+            HostSpec::standard(HostId(0), HostClass::Slow),
+            HostSpec::standard(HostId(1), HostClass::Fast),
+            HostSpec::standard(HostId(2), HostClass::Fast),
+        ];
+        specs[2].reliability = 0.8;
+        let c = Cluster::new(specs, PowerState::Off);
+        // Reliability only ranks when the P_fault extension is enabled.
+        let sched = ScoreScheduler::new(ScoreConfig::full());
+        let ranked = sched.rank_power_on(&c, &[HostId(0), HostId(1), HostId(2)]);
+        assert_eq!(ranked, vec![HostId(1), HostId(0), HostId(2)]);
+
+        // A fault-blind configuration ignores reliability: both Fast nodes
+        // rank ahead of the Slow one, in id order.
+        let blind = ScoreScheduler::new(ScoreConfig::sb());
+        let ranked = blind.rank_power_on(&c, &[HostId(0), HostId(1), HostId(2)]);
+        assert_eq!(ranked, vec![HostId(1), HostId(2), HostId(0)]);
+    }
+
+    #[test]
+    fn rank_power_off_prefers_costly_hosts() {
+        // Host 1 is slow (higher creation cost in the rows once P_virt is
+        // on) — it should be offered for power-off before the fast host.
+        let mut c = cluster(&[HostClass::Fast, HostClass::Slow]);
+        let _q = c.submit_job(job(1, 100, 600));
+        let sched = ScoreScheduler::new(ScoreConfig::sb1());
+        let ranked = sched.rank_power_off(&c, SimTime::ZERO, &[HostId(0), HostId(1)]);
+        assert_eq!(ranked, vec![HostId(1), HostId(0)]);
+    }
+
+    #[test]
+    fn empty_queue_no_migration_is_a_noop() {
+        let c = cluster(&[HostClass::Medium]);
+        let mut sched = ScoreScheduler::new(ScoreConfig::sb2());
+        assert!(sched.schedule(&c, &ctx(0)).is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! The score value type.
+//!
+//! A score is the *cost* of one ⟨host, VM⟩ allocation (§III-A): the sum of
+//! all penalties, where infinity marks an impossible allocation ("penalties
+//! which can take infinity value may make all the other penalties
+//! insignificant"). Wrapping `f64` keeps the absorbing-∞ arithmetic and
+//! the move-delta rules in one audited place.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// The cost of holding a VM on a host. Higher is worse; infinite is
+/// impossible.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Score(f64);
+
+impl Score {
+    /// A zero-cost score.
+    pub const ZERO: Score = Score(0.0);
+    /// The impossible allocation.
+    pub const INFINITE: Score = Score(f64::INFINITY);
+
+    /// A finite score.
+    ///
+    /// # Panics
+    /// Panics on NaN — a NaN score would silently break the solver's
+    /// minimum search.
+    pub fn finite(v: f64) -> Score {
+        assert!(!v.is_nan(), "score cannot be NaN");
+        Score(v)
+    }
+
+    /// Raw value (may be `f64::INFINITY`).
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// True for the impossible allocation.
+    pub fn is_infinite(self) -> bool {
+        self.0.is_infinite()
+    }
+
+    /// The benefit (negative = improvement) of moving a VM whose current
+    /// cost is `from` to a cell costing `to`:
+    ///
+    /// * moving *to* an infinite cell is never a candidate (`None`);
+    /// * moving *from* infinity (a queued VM on the virtual host) to any
+    ///   finite cell is infinitely beneficial (`-∞`) — allocating new VMs
+    ///   dominates everything else, as §III-A prescribes;
+    /// * otherwise the plain difference.
+    pub fn delta(to: Score, from: Score) -> Option<f64> {
+        if to.is_infinite() {
+            return None;
+        }
+        if from.is_infinite() {
+            return Some(f64::NEG_INFINITY);
+        }
+        Some(to.0 - from.0)
+    }
+}
+
+impl Add for Score {
+    type Output = Score;
+    fn add(self, rhs: Score) -> Score {
+        Score(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Score {
+    fn add_assign(&mut self, rhs: Score) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for Score {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "∞")
+        } else {
+            write!(f, "{:.1}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinity_absorbs_addition() {
+        assert!((Score::INFINITE + Score::finite(5.0)).is_infinite());
+        assert!((Score::finite(-3.0) + Score::INFINITE).is_infinite());
+        assert_eq!(Score::finite(2.0) + Score::finite(3.0), Score::finite(5.0));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Score::finite(1.0) < Score::finite(2.0));
+        assert!(Score::finite(1e9) < Score::INFINITE);
+        assert!(Score::finite(-5.0) < Score::ZERO);
+    }
+
+    #[test]
+    fn delta_rules() {
+        // To-infinite: never a candidate.
+        assert_eq!(Score::delta(Score::INFINITE, Score::finite(1.0)), None);
+        assert_eq!(Score::delta(Score::INFINITE, Score::INFINITE), None);
+        // From-infinite to finite: infinitely beneficial.
+        assert_eq!(
+            Score::delta(Score::finite(10.0), Score::INFINITE),
+            Some(f64::NEG_INFINITY)
+        );
+        // Finite case: plain difference.
+        assert_eq!(
+            Score::delta(Score::finite(3.0), Score::finite(10.0)),
+            Some(-7.0)
+        );
+        assert_eq!(
+            Score::delta(Score::finite(10.0), Score::finite(3.0)),
+            Some(7.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Score::finite(f64::NAN);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Score::finite(15.25).to_string(), "15.2");
+        assert_eq!(Score::INFINITE.to_string(), "∞");
+    }
+}

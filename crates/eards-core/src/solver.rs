@@ -1,0 +1,224 @@
+//! The matrix optimization algorithm (Algorithm 1, §III-B).
+//!
+//! Hill climbing over the score matrix: after normalizing each column by
+//! the VM's current-host cost, repeatedly apply the most-negative move
+//! (re-scoring the affected cells) until no improvement remains or the
+//! iteration limit is hit. "The Hill Climbing algorithm is greedy, but in
+//! this situation it finds a suboptimal solution much faster and cheaper
+//! than evaluating all possible configurations."
+//!
+//! One guard beyond the paper's pseudocode: a VM moved once in a round is
+//! frozen for the rest of that round. The real system starts the chosen
+//! operation immediately (after which the VM is pinned with an infinite
+//! `P_virt` anyway), and the freeze makes termination proofs trivial:
+//! at most `min(max_moves, N)` moves per round.
+
+use crate::eval::Eval;
+use crate::score::Score;
+
+/// One applied move: `(matrix column, host row)`.
+pub type Move = (usize, usize);
+
+/// Outcome of a solver run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Moves in application order (each column appears at most once).
+    pub moves: Vec<Move>,
+    /// Number of full matrix sweeps performed.
+    pub sweeps: usize,
+    /// Whether the run stopped on the iteration limit rather than on
+    /// convergence.
+    pub hit_move_limit: bool,
+}
+
+/// Runs hill climbing until convergence or `max_moves`.
+pub fn solve(eval: &mut Eval<'_>, max_moves: usize) -> Solution {
+    let n = eval.num_vms();
+    let m = eval.num_hosts();
+    let mut frozen = vec![false; n];
+    let mut moves = Vec::new();
+    let mut sweeps = 0;
+
+    while moves.len() < max_moves {
+        sweeps += 1;
+        // Find the most beneficial move over the whole (delta-normalized)
+        // matrix. Ties break on the smaller absolute score, then on column
+        // and row order — deterministic across runs.
+        let mut best: Option<(f64, f64, usize, usize)> = None;
+        for (v, &is_frozen) in frozen.iter().enumerate().take(n) {
+            if is_frozen {
+                continue;
+            }
+            let from = eval.current_cost(v);
+            for h in 0..m {
+                if eval.placement_of(v) == Some(h) {
+                    continue;
+                }
+                let to = eval.score(h, v);
+                let Some(d) = Score::delta(to, from) else {
+                    continue;
+                };
+                // Creations (from the virtual host) only need any feasible
+                // cell; migrations must clear the configured gain bar.
+                let bar = if eval.original_of(v).is_some() {
+                    -eval.min_migration_gain()
+                } else {
+                    0.0
+                };
+                if d >= bar {
+                    continue;
+                }
+                let cand = (d, to.value(), v, h);
+                let better = match best {
+                    None => true,
+                    Some(b) => cand < b,
+                };
+                if better {
+                    best = Some(cand);
+                }
+            }
+        }
+        match best {
+            Some((_, _, v, h)) => {
+                eval.apply_move(v, h);
+                frozen[v] = true;
+                moves.push((v, h));
+            }
+            None => {
+                return Solution {
+                    moves,
+                    sweeps,
+                    hit_move_limit: false,
+                };
+            }
+        }
+    }
+    Solution {
+        moves,
+        sweeps,
+        hit_move_limit: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScoreConfig;
+    use eards_model::{
+        Cluster, Cpu, HostClass, HostId, HostSpec, Job, JobId, Mem, PowerState, VmId,
+    };
+    use eards_sim::{SimDuration, SimTime};
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn cluster(n: u32) -> Cluster {
+        Cluster::new(
+            (0..n)
+                .map(|i| HostSpec::standard(HostId(i), HostClass::Medium))
+                .collect(),
+            PowerState::On,
+        )
+    }
+
+    fn job(id: u64, cpu: u32) -> Job {
+        Job::new(
+            JobId(id),
+            SimTime::ZERO,
+            Cpu(cpu),
+            Mem::gib(1),
+            SimDuration::from_secs(6000),
+            1.5,
+        )
+    }
+
+    #[test]
+    fn places_queued_vms() {
+        let mut c = cluster(3);
+        let a = c.submit_job(job(1, 200));
+        let b = c.submit_job(job(2, 100));
+        let cfg = ScoreConfig::sb0();
+        let mut eval = crate::eval::Eval::new(&c, &cfg, t(0), vec![a, b]);
+        let sol = solve(&mut eval, 32);
+        assert_eq!(sol.moves.len(), 2);
+        assert!(!sol.hit_move_limit);
+        // Both end on the same host (consolidation).
+        assert_eq!(eval.placement_of(0), eval.placement_of(1));
+    }
+
+    #[test]
+    fn consolidates_via_migration() {
+        let mut c = cluster(2);
+        let a = c.submit_job(job(1, 200));
+        c.start_creation(a, HostId(0), t(0), t(40));
+        c.finish_creation(a, t(40));
+        let b = c.submit_job(job(2, 100));
+        c.start_creation(b, HostId(1), t(0), t(40));
+        c.finish_creation(b, t(40));
+        let cfg = ScoreConfig::sb();
+        let mut eval = crate::eval::Eval::new(&c, &cfg, t(100), vec![a, b]);
+        let sol = solve(&mut eval, 32);
+        // One VM should move so a host can be emptied; the cheaper move is
+        // the smaller VM (b: lower migration penalty is equal, but moving
+        // either empties a host — tie broken deterministically).
+        assert_eq!(sol.moves.len(), 1, "{sol:?}");
+        assert_eq!(
+            eval.placement_of(0),
+            eval.placement_of(1),
+            "must end consolidated"
+        );
+    }
+
+    #[test]
+    fn respects_move_limit() {
+        let mut c = cluster(10);
+        let vms: Vec<VmId> = (0..8).map(|i| c.submit_job(job(i, 100))).collect();
+        let cfg = ScoreConfig::sb0();
+        let mut eval = crate::eval::Eval::new(&c, &cfg, t(0), vms);
+        let sol = solve(&mut eval, 3);
+        assert_eq!(sol.moves.len(), 3);
+        assert!(sol.hit_move_limit);
+    }
+
+    #[test]
+    fn no_moves_when_everything_is_optimal() {
+        let mut c = cluster(2);
+        let a = c.submit_job(job(1, 300));
+        c.start_creation(a, HostId(0), t(0), t(40));
+        c.finish_creation(a, t(40));
+        let cfg = ScoreConfig::sb();
+        let mut eval = crate::eval::Eval::new(&c, &cfg, t(100), vec![a]);
+        let sol = solve(&mut eval, 32);
+        assert!(sol.moves.is_empty(), "a lone VM has nowhere better to go");
+    }
+
+    #[test]
+    fn never_moves_to_infeasible_host() {
+        let mut c = cluster(2);
+        c.begin_power_off(HostId(1), t(0));
+        let vms: Vec<VmId> = (0..3).map(|i| c.submit_job(job(i, 200))).collect();
+        let cfg = ScoreConfig::sb0();
+        let mut eval = crate::eval::Eval::new(&c, &cfg, t(0), vms);
+        let sol = solve(&mut eval, 32);
+        // Host 0 fits two 200% VMs; the third has no feasible host.
+        assert_eq!(sol.moves.len(), 2);
+        for &(_, h) in &sol.moves {
+            assert_eq!(h, 0);
+        }
+        assert_eq!(eval.placement_of(2), None, "third VM stays queued");
+    }
+
+    #[test]
+    fn each_vm_moves_at_most_once_per_round() {
+        let mut c = cluster(4);
+        let vms: Vec<VmId> = (0..6).map(|i| c.submit_job(job(i, 150))).collect();
+        let cfg = ScoreConfig::sb();
+        let mut eval = crate::eval::Eval::new(&c, &cfg, t(0), vms);
+        let sol = solve(&mut eval, 100);
+        let mut seen = std::collections::HashSet::new();
+        for &(v, _) in &sol.moves {
+            assert!(seen.insert(v), "column {v} moved twice");
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! The audit log: a structured record of everything the datacenter did.
+//!
+//! Debugging a scheduling policy from aggregate numbers alone is
+//! miserable; the audit log captures every consequential transition —
+//! arrivals, placements, migrations, completions, power transitions,
+//! failures, λ adjustments — with its timestamp, so a run can be replayed,
+//! diffed, or rendered as a timeline (see the `datacenter_timeline`
+//! example).
+
+use eards_model::{HostId, VmId};
+use eards_sim::SimTime;
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuditKind {
+    /// A job entered the virtual-host queue.
+    JobArrived {
+        /// The VM wrapping it.
+        vm: VmId,
+    },
+    /// VM creation started on a host.
+    CreationStarted {
+        /// The VM.
+        vm: VmId,
+        /// Target host.
+        host: HostId,
+    },
+    /// Creation finished; the job began executing.
+    VmStarted {
+        /// The VM.
+        vm: VmId,
+        /// Its host.
+        host: HostId,
+    },
+    /// A live migration started.
+    MigrationStarted {
+        /// The VM.
+        vm: VmId,
+        /// Source host.
+        from: HostId,
+        /// Destination host.
+        to: HostId,
+    },
+    /// A live migration completed.
+    MigrationFinished {
+        /// The VM.
+        vm: VmId,
+        /// The new host.
+        to: HostId,
+    },
+    /// The job finished and its VM was destroyed.
+    JobCompleted {
+        /// The VM.
+        vm: VmId,
+        /// Client satisfaction earned.
+        satisfaction: f64,
+    },
+    /// A checkpoint of the VM completed.
+    CheckpointTaken {
+        /// The VM.
+        vm: VmId,
+    },
+    /// A host began booting.
+    HostPoweringOn {
+        /// The host.
+        host: HostId,
+    },
+    /// A host finished booting.
+    HostOn {
+        /// The host.
+        host: HostId,
+    },
+    /// A host began shutting down.
+    HostPoweringOff {
+        /// The host.
+        host: HostId,
+    },
+    /// A host crashed.
+    HostFailed {
+        /// The host.
+        host: HostId,
+        /// VMs displaced back to the queue.
+        displaced: usize,
+    },
+    /// A failed host became bootable again.
+    HostRepaired {
+        /// The host.
+        host: HostId,
+    },
+    /// The adaptive controller moved λ_min.
+    LambdaAdjusted {
+        /// The new λ_min.
+        lambda_min: f64,
+    },
+}
+
+/// One timestamped audit entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: AuditKind,
+}
+
+impl AuditEvent {
+    /// Renders the entry as one log line.
+    pub fn to_line(&self) -> String {
+        let body = match &self.kind {
+            AuditKind::JobArrived { vm } => format!("{vm} arrived"),
+            AuditKind::CreationStarted { vm, host } => format!("{vm} creating on {host}"),
+            AuditKind::VmStarted { vm, host } => format!("{vm} running on {host}"),
+            AuditKind::MigrationStarted { vm, from, to } => {
+                format!("{vm} migrating {from} → {to}")
+            }
+            AuditKind::MigrationFinished { vm, to } => format!("{vm} now on {to}"),
+            AuditKind::JobCompleted { vm, satisfaction } => {
+                format!("{vm} completed (S = {satisfaction:.0}%)")
+            }
+            AuditKind::CheckpointTaken { vm } => format!("{vm} checkpointed"),
+            AuditKind::HostPoweringOn { host } => format!("{host} booting"),
+            AuditKind::HostOn { host } => format!("{host} online"),
+            AuditKind::HostPoweringOff { host } => format!("{host} shutting down"),
+            AuditKind::HostFailed { host, displaced } => {
+                format!("{host} FAILED ({displaced} VMs displaced)")
+            }
+            AuditKind::HostRepaired { host } => format!("{host} repaired"),
+            AuditKind::LambdaAdjusted { lambda_min } => {
+                format!("λ_min adjusted to {lambda_min:.2}")
+            }
+        };
+        format!("[{}] {}", self.at, body)
+    }
+}
+
+/// Renders a whole log, one line per event.
+pub fn render_log(events: &[AuditEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_line());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_are_human_readable() {
+        let e = AuditEvent {
+            at: SimTime::from_secs(90),
+            kind: AuditKind::MigrationStarted {
+                vm: VmId(3),
+                from: HostId(0),
+                to: HostId(2),
+            },
+        };
+        assert_eq!(e.to_line(), "[1:30.000] vm3 migrating h0 → h2");
+        let log = render_log(&[e]);
+        assert_eq!(log.lines().count(), 1);
+    }
+
+    #[test]
+    fn failure_line_counts_displaced() {
+        let e = AuditEvent {
+            at: SimTime::ZERO,
+            kind: AuditKind::HostFailed {
+                host: HostId(7),
+                displaced: 3,
+            },
+        };
+        assert!(e.to_line().contains("h7 FAILED (3 VMs displaced)"));
+    }
+}

@@ -1,0 +1,801 @@
+//! The datacenter simulation driver.
+//!
+//! Wires the DES engine (`eards-sim`), the datacenter model
+//! (`eards-model`), a workload trace and a scheduling policy into one run,
+//! and produces the metrics the paper's tables report. This is the
+//! equivalent of the paper's OMNeT++ simulation harness (§IV): the
+//! *Workload Generator* feeds arrivals, the *Scheduler* is real code (the
+//! policy under test), and the *VHost* layer — execution, operation
+//! overheads, power — is simulated here.
+
+use std::collections::HashMap;
+
+use eards_metrics::{delay_pct, satisfaction, JobOutcome, RunReport, TimeSeries, TimeWeighted};
+use eards_model::{
+    Action, CalibratedPowerModel, Cluster, HostId, HostSpec, Job, Policy, PowerModel, PowerState,
+    ScheduleContext, ScheduleReason, VmId, VmState,
+};
+use eards_sim::{EventHandle, SimDuration, SimRng, SimTime, Simulator};
+use eards_workload::Trace;
+
+use crate::audit::{AuditEvent, AuditKind};
+use crate::config::RunConfig;
+
+/// Events of the datacenter simulation.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A job from the trace arrives (index into the job list).
+    JobArrival(usize),
+    /// A VM creation finishes.
+    CreationDone(VmId),
+    /// A live migration finishes.
+    MigrationDone(VmId),
+    /// A checkpoint write finishes.
+    CheckpointDone(VmId),
+    /// A VM's job is projected to complete now.
+    JobCompletion(VmId),
+    /// A host finished booting.
+    BootDone(HostId),
+    /// A host finished shutting down.
+    ShutdownDone(HostId),
+    /// A host crashes.
+    HostFailure(HostId),
+    /// A failed host becomes bootable again.
+    HostRepaired(HostId),
+    /// Periodic SLA-projection check.
+    SlaCheck,
+    /// Periodic consolidation round (migration re-evaluation).
+    ConsolidationTick,
+    /// Adaptive λ controller adjustment.
+    LambdaAdjust,
+    /// Periodic checkpoint trigger.
+    CheckpointTick,
+}
+
+/// One configured simulation run.
+pub struct Runner {
+    cluster: Cluster,
+    policy: Box<dyn Policy>,
+    cfg: RunConfig,
+    model: Box<dyn PowerModel>,
+    jobs: Vec<Job>,
+    label: String,
+
+    sim: Simulator<Event>,
+    rng: SimRng,
+    completion: HashMap<VmId, EventHandle>,
+    failure_timer: HashMap<HostId, EventHandle>,
+    /// One RNG stream per host for failure sampling, independent of the
+    /// main stream: two runs that keep a host up for the same intervals
+    /// see the same failures regardless of what else they randomize.
+    failure_rng: Vec<SimRng>,
+
+    power_series: TimeSeries,
+    power_tw: TimeWeighted,
+    working_tw: TimeWeighted,
+    online_tw: TimeWeighted,
+    outcomes: Vec<JobOutcome>,
+    jobs_done: usize,
+    migrations: u64,
+    creations: u64,
+    host_failures: u64,
+    vms_displaced: u64,
+    /// Current λ_min (starts at the configured value; moved by the
+    /// adaptive controller when enabled).
+    lambda_min: f64,
+    audit: Vec<AuditEvent>,
+    /// Satisfaction of jobs completed since the last adjustment.
+    sat_window: eards_metrics::Summary,
+}
+
+impl Runner {
+    /// Builds a run over `hosts` executing `trace` under `policy`, with
+    /// the paper's Table-I power model.
+    pub fn new(
+        hosts: Vec<HostSpec>,
+        trace: Trace,
+        policy: Box<dyn Policy>,
+        cfg: RunConfig,
+    ) -> Self {
+        Self::with_power_model(
+            hosts,
+            trace,
+            policy,
+            cfg,
+            Box::new(CalibratedPowerModel::paper_4way()),
+        )
+    }
+
+    /// As [`Runner::new`] with an explicit power model (ablations).
+    pub fn with_power_model(
+        hosts: Vec<HostSpec>,
+        trace: Trace,
+        policy: Box<dyn Policy>,
+        cfg: RunConfig,
+        model: Box<dyn PowerModel>,
+    ) -> Self {
+        let label = policy.name();
+        let rng = SimRng::seed_from_u64(cfg.seed);
+        let failure_rng: Vec<SimRng> = (0..hosts.len())
+            .map(|i| SimRng::seed_from_u64(cfg.seed ^ 0xFA11 ^ ((i as u64) << 17)))
+            .collect();
+        Runner {
+            cluster: Cluster::new(hosts, PowerState::Off),
+            policy,
+            cfg,
+            model,
+            jobs: trace.into_jobs(),
+            label,
+            sim: Simulator::new(),
+            rng,
+            completion: HashMap::new(),
+            failure_timer: HashMap::new(),
+            failure_rng,
+            power_series: TimeSeries::new(),
+            power_tw: TimeWeighted::new(SimTime::ZERO, 0.0),
+            working_tw: TimeWeighted::new(SimTime::ZERO, 0.0),
+            online_tw: TimeWeighted::new(SimTime::ZERO, 0.0),
+            outcomes: Vec::new(),
+            jobs_done: 0,
+            migrations: 0,
+            creations: 0,
+            host_failures: 0,
+            vms_displaced: 0,
+            lambda_min: 0.0, // set from cfg in run()
+            audit: Vec::new(),
+            sat_window: eards_metrics::Summary::new(),
+        }
+    }
+
+    /// Overrides the report label (defaults to the policy name).
+    pub fn labeled(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Records an audit entry (no-op unless `cfg.audit`).
+    fn note(&mut self, at: SimTime, kind: AuditKind) {
+        if self.cfg.audit {
+            self.audit.push(AuditEvent { at, kind });
+        }
+    }
+
+    /// Executes the simulation and returns the report together with the
+    /// audit log (empty unless `cfg.audit` is set).
+    pub fn run_audited(self) -> (RunReport, Vec<AuditEvent>) {
+        self.execute()
+    }
+
+    /// Executes the simulation and returns its report.
+    pub fn run(self) -> RunReport {
+        self.run_audited().0
+    }
+
+    fn execute(mut self) -> (RunReport, Vec<AuditEvent>) {
+        let last_arrival = self.jobs.last().map(|j| j.submit).unwrap_or(SimTime::ZERO);
+        let hard_cap = last_arrival + self.cfg.drain_limit;
+
+        // Bring up the initial node set instantaneously at t = 0 — the
+        // datacenter does not cold-boot in front of the workload. The
+        // policy picks which nodes (§III-C: by reliability, boot time, …).
+        let initial = self.cfg.initial_on.min(self.cluster.num_hosts());
+        let all: Vec<HostId> = (0..self.cluster.num_hosts())
+            .map(|i| HostId(i as u32))
+            .collect();
+        let ranked = self.policy.rank_power_on(&self.cluster, &all);
+        for &h in ranked.iter().take(initial) {
+            self.cluster.begin_power_on(h, SimTime::ZERO);
+            self.cluster.complete_power_on(h);
+            self.arm_failure(h);
+        }
+
+        for (idx, job) in self.jobs.iter().enumerate() {
+            self.sim.schedule_at(job.submit, Event::JobArrival(idx));
+        }
+        self.sim
+            .schedule_after(self.cfg.sla_check_period, Event::SlaCheck);
+        if let Some(p) = self.cfg.consolidation_period {
+            self.sim.schedule_after(p, Event::ConsolidationTick);
+        }
+        self.lambda_min = self.cfg.lambda_min;
+        if let Some(al) = &self.cfg.adaptive_lambda {
+            self.lambda_min = self
+                .lambda_min
+                .clamp(al.lambda_min_bounds.0, al.lambda_min_bounds.1);
+            self.sim
+                .schedule_after(al.adjust_period, Event::LambdaAdjust);
+        }
+        if let Some(p) = self.cfg.checkpoint_period {
+            self.sim.schedule_after(p, Event::CheckpointTick);
+        }
+        self.record_metrics();
+
+        let mut dirty: Option<ScheduleReason> = None;
+        while let Some((now, _, event)) = self.sim.step_before(hard_cap) {
+            if let Some(reason) = self.handle(now, event) {
+                // Keep the earliest reason of the batch.
+                dirty = dirty.or(Some(reason));
+            }
+            // Batch all events of this instant before scheduling/metrics.
+            if self.sim.peek_time() == Some(now) {
+                continue;
+            }
+            if let Some(reason) = dirty.take() {
+                self.schedule_round(now, reason);
+                self.adjust_power(now);
+            }
+            self.record_metrics();
+            if self.finished() {
+                break;
+            }
+        }
+
+        let end = self.sim.now();
+        let audit = std::mem::take(&mut self.audit);
+        (self.finalize(end), audit)
+    }
+
+    // ----- event handling --------------------------------------------------
+
+    /// Handles one event; returns the scheduling-round reason it raises.
+    fn handle(&mut self, now: SimTime, event: Event) -> Option<ScheduleReason> {
+        match event {
+            Event::JobArrival(idx) => {
+                let job = self.jobs[idx].clone();
+                let vm = self.cluster.submit_job(job);
+                self.note(now, AuditKind::JobArrived { vm });
+                Some(ScheduleReason::VmArrived)
+            }
+            Event::CreationDone(vm) => {
+                if self.cluster.vm(vm).state != VmState::Creating {
+                    return None; // host failed mid-creation; VM re-queued
+                }
+                // Guard against a *stale* event: if the original creation
+                // was aborted by a host failure and the VM is now being
+                // re-created elsewhere, only the event matching the live
+                // operation's end time may complete it.
+                let host = self.cluster.vm(vm).host.expect("creating VM has a host");
+                let live =
+                    self.cluster.host(host).ops.iter().any(|o| {
+                        o.vm == vm && o.kind == eards_model::OpKind::Create && o.ends == now
+                    });
+                if !live {
+                    return None;
+                }
+                self.cluster.finish_creation(vm, now);
+                let host = self.cluster.vm(vm).host.expect("created VM has a host");
+                self.note(now, AuditKind::VmStarted { vm, host });
+                self.touch(host, now);
+                self.complete_if_done(vm, now);
+                Some(ScheduleReason::VmFinished)
+            }
+            Event::MigrationDone(vm) => {
+                let (from, to) = match self.cluster.vm(vm).state {
+                    VmState::Migrating { to } => (
+                        self.cluster.vm(vm).host.expect("migrating VM has a host"),
+                        to,
+                    ),
+                    _ => return None, // an endpoint failed mid-migration
+                };
+                // Stale-event guard (see CreationDone): only the event
+                // matching the live migration operation may complete it.
+                let live = self.cluster.host(to).ops.iter().any(|o| {
+                    o.vm == vm
+                        && matches!(o.kind, eards_model::OpKind::MigrateIn { .. })
+                        && o.ends == now
+                });
+                if !live {
+                    return None;
+                }
+                // Progress accrued on the source up to this instant.
+                self.cluster.touch_host(from, now);
+                self.cluster.finish_migration(vm, now);
+                let to = self.cluster.vm(vm).host.expect("migrated VM has a host");
+                self.note(now, AuditKind::MigrationFinished { vm, to });
+                self.touch(from, now);
+                self.touch(to, now);
+                self.complete_if_done(vm, now);
+                Some(ScheduleReason::HostStateChanged)
+            }
+            Event::CheckpointDone(vm) => {
+                if self.cluster.vm(vm).state != VmState::Checkpointing {
+                    return None;
+                }
+                let host = self
+                    .cluster
+                    .vm(vm)
+                    .host
+                    .expect("checkpointing VM has a host");
+                let live = self.cluster.host(host).ops.iter().any(|o| {
+                    o.vm == vm && o.kind == eards_model::OpKind::Checkpoint && o.ends == now
+                });
+                if !live {
+                    return None;
+                }
+                self.cluster.finish_checkpoint(vm, now);
+                self.note(now, AuditKind::CheckpointTaken { vm });
+                let host = self
+                    .cluster
+                    .vm(vm)
+                    .host
+                    .expect("checkpointing VM has a host");
+                self.touch(host, now);
+                self.complete_if_done(vm, now);
+                None
+            }
+            Event::JobCompletion(vm) => {
+                self.completion.remove(&vm);
+                if self.cluster.vm(vm).state != VmState::Running {
+                    // Migrating/checkpointing: their completion handlers
+                    // re-check; a queued VM (failure) restarts later.
+                    return None;
+                }
+                let host = self.cluster.vm(vm).host.expect("running VM has a host");
+                self.cluster.touch_host(host, now);
+                if self.complete_if_done(vm, now) {
+                    Some(ScheduleReason::VmFinished)
+                } else {
+                    // Allocation changed since this event was scheduled;
+                    // refresh the projection.
+                    self.refresh_completion(vm, now);
+                    None
+                }
+            }
+            Event::BootDone(h) => {
+                if matches!(self.cluster.host(h).power, PowerState::Booting { .. }) {
+                    self.cluster.complete_power_on(h);
+                    self.note(now, AuditKind::HostOn { host: h });
+                    self.arm_failure(h);
+                    Some(ScheduleReason::HostStateChanged)
+                } else {
+                    None
+                }
+            }
+            Event::ShutdownDone(h) => {
+                if matches!(self.cluster.host(h).power, PowerState::ShuttingDown { .. }) {
+                    self.cluster.complete_power_off(h);
+                }
+                None
+            }
+            Event::HostFailure(h) => {
+                self.failure_timer.remove(&h);
+                if self.cluster.host(h).power != PowerState::On {
+                    return None;
+                }
+                let displaced = self.cluster.fail_host(h, now);
+                self.note(
+                    now,
+                    AuditKind::HostFailed {
+                        host: h,
+                        displaced: displaced.len(),
+                    },
+                );
+                self.vms_displaced += displaced.len() as u64;
+                for vm in displaced {
+                    if let Some(handle) = self.completion.remove(&vm) {
+                        self.sim.cancel(handle);
+                    }
+                }
+                self.host_failures += 1;
+                self.sim
+                    .schedule_after(self.cfg.repair_time, Event::HostRepaired(h));
+                Some(ScheduleReason::HostStateChanged)
+            }
+            Event::HostRepaired(h) => {
+                self.cluster.repair_host(h);
+                self.note(now, AuditKind::HostRepaired { host: h });
+                Some(ScheduleReason::HostStateChanged)
+            }
+            Event::SlaCheck => {
+                let mut violated = false;
+                let mut running: Vec<VmId> = self
+                    .cluster
+                    .vms()
+                    .filter(|v| v.state == VmState::Running)
+                    .map(|v| v.id)
+                    .collect();
+                running.sort_unstable(); // HashMap order is not deterministic
+                for vm in running {
+                    if let Some(host) = self.cluster.vm(vm).host {
+                        self.cluster.touch_host(host, now);
+                    }
+                    let f = self.cluster.vm(vm).sla_fulfillment(now);
+                    if f < 1.0 {
+                        violated = true;
+                        if self.cfg.dynamic_sla {
+                            self.escalate_request(vm, now);
+                        }
+                    }
+                }
+                if !self.finished() {
+                    self.sim
+                        .schedule_after(self.cfg.sla_check_period, Event::SlaCheck);
+                }
+                violated.then_some(ScheduleReason::SlaViolation)
+            }
+            Event::ConsolidationTick => {
+                if let (Some(p), false) = (self.cfg.consolidation_period, self.finished()) {
+                    self.sim.schedule_after(p, Event::ConsolidationTick);
+                }
+                self.policy
+                    .uses_migration()
+                    .then_some(ScheduleReason::Periodic)
+            }
+            Event::LambdaAdjust => {
+                let al = self
+                    .cfg
+                    .adaptive_lambda
+                    .clone()
+                    .expect("event only scheduled when configured");
+                if self.sat_window.count() >= al.min_window_jobs {
+                    let recent = self.sat_window.mean();
+                    if recent < al.target_satisfaction {
+                        // SLAs slipping: keep more nodes on (less eager off).
+                        self.lambda_min -= al.step;
+                    } else {
+                        // Comfortably above target: turn off more eagerly.
+                        self.lambda_min += al.step;
+                    }
+                    self.lambda_min = self
+                        .lambda_min
+                        .clamp(al.lambda_min_bounds.0, al.lambda_min_bounds.1)
+                        .min(self.cfg.lambda_max - 0.05);
+                    self.note(
+                        now,
+                        AuditKind::LambdaAdjusted {
+                            lambda_min: self.lambda_min,
+                        },
+                    );
+                    self.sat_window = eards_metrics::Summary::new();
+                }
+                if !self.finished() {
+                    self.sim
+                        .schedule_after(al.adjust_period, Event::LambdaAdjust);
+                }
+                None
+            }
+            Event::CheckpointTick => {
+                let mut eligible: Vec<VmId> = self
+                    .cluster
+                    .vms()
+                    .filter(|v| v.state == VmState::Running)
+                    .map(|v| v.id)
+                    .collect();
+                eligible.sort_unstable(); // HashMap order is not deterministic
+                for vm in eligible {
+                    let ends = now + self.cfg.checkpoint_duration;
+                    self.cluster.start_checkpoint(vm, now, ends);
+                    self.sim.schedule_at(ends, Event::CheckpointDone(vm));
+                    let host = self.cluster.vm(vm).host.expect("running VM has a host");
+                    self.touch(host, now);
+                }
+                if let (Some(p), false) = (self.cfg.checkpoint_period, self.finished()) {
+                    self.sim.schedule_after(p, Event::CheckpointTick);
+                }
+                None
+            }
+        }
+    }
+
+    // ----- scheduling ------------------------------------------------------
+
+    fn schedule_round(&mut self, now: SimTime, reason: ScheduleReason) {
+        let ctx = ScheduleContext { now, reason };
+        let actions = self.policy.schedule(&self.cluster, &ctx);
+        for action in actions {
+            match action {
+                Action::Create { vm, host } => {
+                    if self.cluster.vm(vm).state != VmState::Queued
+                        || !self.cluster.can_place_overcommitted(host, vm)
+                    {
+                        continue; // stale decision; the VM stays queued
+                    }
+                    let mean = self.cluster.host(host).spec.class.creation_cost();
+                    let dur = self.op_duration(mean, self.cfg.creation_jitter_std);
+                    let ends = now + dur;
+                    self.cluster.start_creation(vm, host, now, ends);
+                    self.note(now, AuditKind::CreationStarted { vm, host });
+                    self.sim.schedule_at(ends, Event::CreationDone(vm));
+                    self.touch(host, now);
+                    self.creations += 1;
+                }
+                Action::Migrate { vm, to } => {
+                    let v = self.cluster.vm(vm);
+                    if !self.policy.uses_migration()
+                        || v.state != VmState::Running
+                        || v.host == Some(to)
+                        || !self.cluster.can_place_overcommitted(to, vm)
+                    {
+                        continue;
+                    }
+                    let from = v.host.expect("running VM has a host");
+                    // Migration cost is the destination's (§V: C_m by class).
+                    let mean = self.cluster.host(to).spec.class.migration_cost();
+                    let dur = self.op_duration(mean, self.cfg.migration_jitter_std);
+                    let ends = now + dur;
+                    self.cluster.start_migration(vm, to, now, ends);
+                    self.note(now, AuditKind::MigrationStarted { vm, from, to });
+                    self.sim.schedule_at(ends, Event::MigrationDone(vm));
+                    self.touch(from, now);
+                    self.touch(to, now);
+                    self.migrations += 1;
+                }
+            }
+        }
+    }
+
+    fn op_duration(&mut self, mean: SimDuration, std_dev: f64) -> SimDuration {
+        let secs = self.rng.normal_at_least(mean.as_secs_f64(), std_dev, 1.0);
+        SimDuration::from_secs_f64(secs)
+    }
+
+    /// §III-A.5: raise a violated VM's requested CPU so rescheduling can
+    /// find it more room. Escalation only helps a VM that is actually
+    /// being *starved* (allocation below demand, e.g. by dom0 operation
+    /// overheads) — a VM already running at full demand cannot be sped up,
+    /// and inflating its reservation would only block queued VMs. The
+    /// escalation is also capped at 1.5× the demand: reserving a whole
+    /// node for one late job starves the rest of the queue.
+    fn escalate_request(&mut self, vm: VmId, now: SimTime) {
+        let (needed, cap, starved) = {
+            let v = self.cluster.vm(vm);
+            let host = v.host.expect("running VM has a host");
+            let cap = self.cluster.host(host).spec.cpu;
+            let left = v
+                .job
+                .deadline_at()
+                .saturating_since(now)
+                .as_secs_f64()
+                .max(1.0);
+            (
+                (v.remaining_work() / left).ceil(),
+                cap,
+                v.alloc + 1e-9 < v.job.cpu.as_f64(),
+            )
+        };
+        if !starved {
+            return;
+        }
+        let v = self.cluster.vm_mut(vm);
+        let ceiling = (v.job.cpu.points() * 3 / 2).min(cap.points());
+        let new_cpu = (needed as u32).clamp(v.job.cpu.points(), ceiling);
+        v.requested.cpu = eards_model::Cpu(new_cpu.max(v.requested.cpu.points()));
+    }
+
+    // ----- power management (§III-C) ----------------------------------------
+
+    fn adjust_power(&mut self, now: SimTime) {
+        // Turn on: working/online above λ_max, or unplaceable queue.
+        loop {
+            let online = self.cluster.online_count();
+            let working = self.cluster.working_count();
+            let ratio = if online == 0 {
+                f64::INFINITY
+            } else {
+                working as f64 / online as f64
+            };
+            let queue_stuck = self.queue_stuck();
+            if ratio <= self.cfg.lambda_max && !queue_stuck {
+                break;
+            }
+            let candidates: Vec<HostId> = self
+                .cluster
+                .hosts()
+                .iter()
+                .filter(|h| h.power == PowerState::Off)
+                .map(|h| h.spec.id)
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let pick = self.policy.rank_power_on(&self.cluster, &candidates)[0];
+            let ready_at = self.cluster.begin_power_on(pick, now);
+            self.note(now, AuditKind::HostPoweringOn { host: pick });
+            self.sim.schedule_at(ready_at, Event::BootDone(pick));
+            // A booting host counts as online, so the ratio falls and the
+            // loop converges; the stuck-queue rule boots at most one.
+            if queue_stuck && ratio <= self.cfg.lambda_max {
+                break;
+            }
+        }
+
+        // Turn off: working/online below λ_min (never below minexec).
+        loop {
+            let online = self.cluster.online_count();
+            if online <= self.cfg.min_exec {
+                break;
+            }
+            let working = self.cluster.working_count();
+            let ratio = if online == 0 {
+                break;
+            } else {
+                working as f64 / online as f64
+            };
+            if ratio >= self.lambda_min {
+                break;
+            }
+            let candidates: Vec<HostId> = self
+                .cluster
+                .hosts()
+                .iter()
+                .filter(|h| h.power == PowerState::On && h.is_idle())
+                .map(|h| h.spec.id)
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let pick = self.policy.rank_power_off(&self.cluster, now, &candidates)[0];
+            if let Some(handle) = self.failure_timer.remove(&pick) {
+                self.sim.cancel(handle);
+            }
+            let off_at = self.cluster.begin_power_off(pick, now);
+            self.note(now, AuditKind::HostPoweringOff { host: pick });
+            self.sim.schedule_at(off_at, Event::ShutdownDone(pick));
+        }
+    }
+
+    /// True if a queued VM cannot be placed on any ready host and no help
+    /// is on the way (nothing booting).
+    fn queue_stuck(&self) -> bool {
+        if self.cluster.queue().is_empty() {
+            return false;
+        }
+        let booting = self
+            .cluster
+            .hosts()
+            .iter()
+            .any(|h| matches!(h.power, PowerState::Booting { .. }));
+        if booting {
+            return false;
+        }
+        self.cluster.queue().iter().any(|&vm| {
+            !(0..self.cluster.num_hosts()).any(|i| self.cluster.can_place(HostId(i as u32), vm))
+        })
+    }
+
+    /// Arms the failure timer for a freshly-up host.
+    fn arm_failure(&mut self, h: HostId) {
+        if !self.cfg.failures {
+            return;
+        }
+        let rel = self.cluster.host(h).spec.reliability;
+        if rel >= 1.0 {
+            return;
+        }
+        // Availability = MTTF / (MTTF + MTTR) ⇒ MTTF = MTTR·rel/(1−rel).
+        let mttf = self.cfg.repair_time.as_secs_f64() * rel / (1.0 - rel);
+        let ttf = self.failure_rng[h.raw() as usize].exponential(1.0 / mttf.max(1.0));
+        let handle = self
+            .sim
+            .schedule_after(SimDuration::from_secs_f64(ttf), Event::HostFailure(h));
+        self.failure_timer.insert(h, handle);
+    }
+
+    // ----- execution bookkeeping --------------------------------------------
+
+    /// Re-runs the credit scheduler on `host` and refreshes completion
+    /// projections for its VMs.
+    fn touch(&mut self, host: HostId, now: SimTime) {
+        self.cluster.reallocate_host(host, now);
+        let resident = self.cluster.host(host).resident.clone();
+        for vm in resident {
+            self.refresh_completion(vm, now);
+        }
+    }
+
+    fn refresh_completion(&mut self, vm: VmId, now: SimTime) {
+        if let Some(handle) = self.completion.remove(&vm) {
+            self.sim.cancel(handle);
+        }
+        let v = self.cluster.vm(vm);
+        if !v.state.is_executing() {
+            return;
+        }
+        if let Some(eta) = v.eta_secs() {
+            // +1 ms guards against the fixed-point floor leaving a sliver
+            // of work at the projected instant.
+            let at = now + SimDuration::from_secs_f64(eta) + SimDuration::from_millis(1);
+            let handle = self.sim.schedule_at(at, Event::JobCompletion(vm));
+            self.completion.insert(vm, handle);
+        }
+    }
+
+    /// Completes the VM's job if its work is done. Returns true on
+    /// completion.
+    fn complete_if_done(&mut self, vm: VmId, now: SimTime) -> bool {
+        if self.cluster.vm(vm).state != VmState::Running || !self.cluster.vm(vm).work_complete() {
+            return false;
+        }
+        if let Some(handle) = self.completion.remove(&vm) {
+            self.sim.cancel(handle);
+        }
+        let host = self.cluster.vm(vm).host.expect("running VM has a host");
+        self.cluster.finish_vm(vm, now);
+        let outcome = self.outcome_of(vm, Some(now));
+        self.note(
+            now,
+            AuditKind::JobCompleted {
+                vm,
+                satisfaction: outcome.satisfaction,
+            },
+        );
+        self.sat_window.push(outcome.satisfaction);
+        self.outcomes.push(outcome);
+        self.jobs_done += 1;
+        self.touch(host, now);
+        true
+    }
+
+    fn outcome_of(&self, vm: VmId, completed: Option<SimTime>) -> JobOutcome {
+        let v = self.cluster.vm(vm);
+        let deadline = v.job.deadline();
+        let end = completed.unwrap_or(self.sim.now());
+        let exec = end.saturating_since(v.job.submit);
+        // Requested-CPU residency: how long the VM held its share.
+        let residency_start = v.started_at.unwrap_or(end);
+        let residency = end.saturating_since(residency_start);
+        JobOutcome {
+            job_id: v.job.id.raw(),
+            submitted: v.job.submit,
+            completed,
+            deadline,
+            satisfaction: if completed.is_some() {
+                satisfaction(exec, deadline)
+            } else {
+                0.0
+            },
+            delay_pct: delay_pct(exec, deadline),
+            cpu_hours: v.job.cpu.as_f64() / 100.0 * residency.as_hours_f64(),
+            work_cpu_hours: v.job.total_work() / 100.0 / 3600.0,
+        }
+    }
+
+    // ----- metrics -----------------------------------------------------------
+
+    fn record_metrics(&mut self) {
+        let now = self.sim.now();
+        let power = self.cluster.total_power(self.model.as_ref());
+        self.power_tw.set(now, power);
+        if self.cfg.record_power_series {
+            self.power_series.record(now, power);
+        }
+        self.working_tw
+            .set(now, self.cluster.working_count() as f64);
+        self.online_tw.set(now, self.cluster.online_count() as f64);
+    }
+
+    fn finished(&self) -> bool {
+        self.jobs_done == self.jobs.len()
+    }
+
+    fn finalize(mut self, end: SimTime) -> RunReport {
+        // Jobs still in flight at the horizon count as unfinished.
+        let mut unfinished: Vec<VmId> = self
+            .cluster
+            .vms()
+            .filter(|v| v.state != VmState::Finished)
+            .map(|v| v.id)
+            .collect();
+        unfinished.sort_unstable(); // deterministic report order
+        for vm in unfinished {
+            if let Some(host) = self.cluster.vm(vm).host {
+                self.cluster.touch_host(host, end);
+            }
+            let outcome = self.outcome_of(vm, None);
+            self.outcomes.push(outcome);
+        }
+
+        let mut report = RunReport::empty(self.label.clone());
+        report.avg_working_nodes = self.working_tw.mean(end);
+        report.avg_online_nodes = self.online_tw.mean(end);
+        report.energy_kwh = self.power_tw.integral(end) / 3600.0 / 1000.0;
+        report.migrations = self.migrations;
+        report.creations = self.creations;
+        report.host_failures = self.host_failures;
+        report.vms_displaced = self.vms_displaced;
+        report.power_watts = self.power_series;
+        report.jobs = self.outcomes;
+        report.finalize_jobs();
+        report
+    }
+}

@@ -1,0 +1,185 @@
+//! Provider economics: revenue, SLA credits, energy cost, profit.
+//!
+//! The paper repeatedly names "global revenue" as a provider interest the
+//! policy must serve (§I, §III) and lists "economical decision making" as
+//! future work (§VI). This module prices a [`RunReport`]: jobs earn
+//! revenue for the *work* delivered, violated SLAs refund part of it, and
+//! the electricity bill is paid per kWh — turning the paper's
+//! power-vs-satisfaction trade-off into one number a provider can rank
+//! policies by.
+
+use crate::report::RunReport;
+use crate::table::{fnum, Table};
+
+/// Prices used to evaluate a run.
+///
+/// ```
+/// use eards_metrics::{PricingModel, RunReport};
+///
+/// let mut report = RunReport::empty("BF");
+/// report.energy_kwh = 100.0;
+/// let econ = PricingModel::default().evaluate(&report);
+/// assert_eq!(econ.energy_cost, 12.0); // 100 kWh × 0.12
+/// assert_eq!(econ.revenue, 0.0);      // no jobs recorded
+/// ```
+#[derive(Debug, Clone)]
+pub struct PricingModel {
+    /// Revenue per CPU·hour of *useful work* delivered (one CPU·hour =
+    /// 100 cpu% of demand served for one hour), in currency units.
+    pub revenue_per_cpu_hour: f64,
+    /// Electricity price per kWh.
+    pub energy_cost_per_kwh: f64,
+    /// Fraction of a job's revenue refunded as its satisfaction falls:
+    /// a job at S = 40% refunds `refund_rate × 60%` of its price. 1.0 is
+    /// the full linear SLA credit.
+    pub refund_rate: f64,
+}
+
+impl Default for PricingModel {
+    fn default() -> Self {
+        // Ballpark 2010 EU figures: ~0.10 €/CPU·h compute (EC2 m1.small
+        // territory), ~0.12 €/kWh industrial electricity, full refunds.
+        PricingModel {
+            revenue_per_cpu_hour: 0.10,
+            energy_cost_per_kwh: 0.12,
+            refund_rate: 1.0,
+        }
+    }
+}
+
+/// The priced outcome of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EconomicReport {
+    /// Label copied from the run.
+    pub label: String,
+    /// Gross revenue for the work delivered.
+    pub revenue: f64,
+    /// SLA credits refunded for late jobs.
+    pub sla_credits: f64,
+    /// Electricity cost.
+    pub energy_cost: f64,
+    /// `revenue − sla_credits − energy_cost`.
+    pub profit: f64,
+}
+
+impl PricingModel {
+    /// Prices a run. Work is billed from each job's intrinsic demand
+    /// (`dedicated × cpu`), *not* its VM residency — delaying a job must
+    /// never increase what the client owes.
+    pub fn evaluate(&self, report: &RunReport) -> EconomicReport {
+        let mut revenue = 0.0;
+        let mut credits = 0.0;
+        for job in &report.jobs {
+            if job.completed.is_none() {
+                // Unfinished work earns nothing (and refunds nothing — it
+                // was never billed).
+                continue;
+            }
+            let price = job.work_cpu_hours * self.revenue_per_cpu_hour;
+            revenue += price;
+            credits += price * self.refund_rate * (1.0 - job.satisfaction / 100.0);
+        }
+        let energy_cost = report.energy_kwh * self.energy_cost_per_kwh;
+        EconomicReport {
+            label: report.label.clone(),
+            revenue,
+            sla_credits: credits,
+            energy_cost,
+            profit: revenue - credits - energy_cost,
+        }
+    }
+
+    /// Prices several runs and renders them as a table, best profit last.
+    pub fn table(&self, reports: &[RunReport]) -> Table {
+        let mut t = Table::new(["Policy", "Revenue", "SLA credits", "Energy cost", "Profit"]);
+        for r in reports {
+            let e = self.evaluate(r);
+            t.row([
+                e.label,
+                fnum(e.revenue, 2),
+                fnum(e.sla_credits, 2),
+                fnum(e.energy_cost, 2),
+                fnum(e.profit, 2),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::JobOutcome;
+    use eards_sim::{SimDuration, SimTime};
+
+    fn job(work_cpu_hours: f64, satisfaction: f64, done: bool) -> JobOutcome {
+        JobOutcome {
+            job_id: 0,
+            submitted: SimTime::ZERO,
+            completed: done.then(|| SimTime::from_secs(10)),
+            deadline: SimDuration::from_secs(10),
+            satisfaction,
+            delay_pct: 0.0,
+            cpu_hours: work_cpu_hours * 2.0, // residency is longer; must not be billed
+            work_cpu_hours,
+        }
+    }
+
+    fn pricing() -> PricingModel {
+        PricingModel {
+            revenue_per_cpu_hour: 1.0,
+            energy_cost_per_kwh: 0.5,
+            refund_rate: 1.0,
+        }
+    }
+
+    #[test]
+    fn prices_work_not_residency() {
+        let mut r = RunReport::empty("x");
+        r.jobs = vec![job(10.0, 100.0, true)];
+        r.energy_kwh = 4.0;
+        let e = pricing().evaluate(&r);
+        assert_eq!(e.revenue, 10.0, "billed on work, not the 20 h residency");
+        assert_eq!(e.sla_credits, 0.0);
+        assert_eq!(e.energy_cost, 2.0);
+        assert_eq!(e.profit, 8.0);
+    }
+
+    #[test]
+    fn sla_credits_scale_with_violation() {
+        let mut r = RunReport::empty("x");
+        r.jobs = vec![job(10.0, 40.0, true)];
+        let e = pricing().evaluate(&r);
+        assert_eq!(e.revenue, 10.0);
+        assert!((e.sla_credits - 6.0).abs() < 1e-12, "60% refunded");
+    }
+
+    #[test]
+    fn unfinished_jobs_earn_and_refund_nothing() {
+        let mut r = RunReport::empty("x");
+        r.jobs = vec![job(10.0, 0.0, false)];
+        let e = pricing().evaluate(&r);
+        assert_eq!(e.revenue, 0.0);
+        assert_eq!(e.sla_credits, 0.0);
+    }
+
+    #[test]
+    fn partial_refund_rate() {
+        let mut r = RunReport::empty("x");
+        r.jobs = vec![job(10.0, 50.0, true)];
+        let model = PricingModel {
+            refund_rate: 0.5,
+            ..pricing()
+        };
+        let e = model.evaluate(&r);
+        assert!((e.sla_credits - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_has_one_row_per_run() {
+        let a = RunReport::empty("A");
+        let b = RunReport::empty("B");
+        let t = pricing().table(&[a, b]);
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,97 @@
+//! The paper's QoS metric (§V): deadline-based client satisfaction.
+//!
+//! > S = 100                                    if T_exec <  T_dead
+//! > S = 100 · max{1 − (T_exec − T_dead)/T_dead, 0}   if T_exec ≥ T_dead
+//!
+//! A job finishing within its deadline scores 100%; one taking twice the
+//! deadline (or longer) scores 0%. `delay` is the relative execution-time
+//! overrun in percent, used alongside S in Tables II–V.
+
+use eards_sim::SimDuration;
+
+/// Client satisfaction in percent, per the paper's equation.
+pub fn satisfaction(exec: SimDuration, deadline: SimDuration) -> f64 {
+    if deadline.is_zero() {
+        // Degenerate SLA: only instantaneous completion satisfies it.
+        return if exec.is_zero() { 100.0 } else { 0.0 };
+    }
+    let texec = exec.as_secs_f64();
+    let tdead = deadline.as_secs_f64();
+    if texec < tdead {
+        100.0
+    } else {
+        100.0 * (1.0 - (texec - tdead) / tdead).max(0.0)
+    }
+}
+
+/// Relative execution delay in percent: how far past its deadline the job
+/// ran, relative to the deadline. A job inside its deadline has 0% delay;
+/// one taking `3 × T_dead` has 200% delay (the paper's example).
+pub fn delay_pct(exec: SimDuration, deadline: SimDuration) -> f64 {
+    if deadline.is_zero() {
+        return if exec.is_zero() { 0.0 } else { f64::INFINITY };
+    }
+    let texec = exec.as_secs_f64();
+    let tdead = deadline.as_secs_f64();
+    (100.0 * (texec - tdead) / tdead).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(secs: u64) -> SimDuration {
+        SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn within_deadline_is_full_satisfaction() {
+        assert_eq!(satisfaction(d(100), d(150)), 100.0);
+        assert_eq!(delay_pct(d(100), d(150)), 0.0);
+    }
+
+    #[test]
+    fn papers_worked_example() {
+        // §V: deadline 150 min; taking ≥ 300 min ⇒ S = 0%, delay ... the
+        // paper quotes "a delay of 200%" for 300 min vs a 100-min dedicated
+        // time (factor 1.5): delay is measured against the deadline.
+        let dead = d(150 * 60);
+        let exec = d(300 * 60);
+        assert_eq!(satisfaction(exec, dead), 0.0);
+        assert_eq!(delay_pct(exec, dead), 100.0);
+        // Halfway overrun: 225 min on a 150-min deadline ⇒ S = 50 %.
+        assert_eq!(satisfaction(d(225 * 60), dead), 50.0);
+    }
+
+    #[test]
+    fn exactly_at_deadline() {
+        // T_exec == T_dead falls in the second branch: S = 100·(1 − 0) = 100.
+        assert_eq!(satisfaction(d(150), d(150)), 100.0);
+        assert_eq!(delay_pct(d(150), d(150)), 0.0);
+    }
+
+    #[test]
+    fn beyond_double_deadline_clamps_to_zero() {
+        assert_eq!(satisfaction(d(1000), d(100)), 0.0);
+        assert_eq!(delay_pct(d(1000), d(100)), 900.0);
+    }
+
+    #[test]
+    fn satisfaction_is_monotone_in_exec_time() {
+        let dead = d(200);
+        let mut last = 101.0;
+        for secs in (100..800).step_by(25) {
+            let s = satisfaction(d(secs), dead);
+            assert!(s <= last, "satisfaction must not increase");
+            assert!((0.0..=100.0).contains(&s));
+            last = s;
+        }
+    }
+
+    #[test]
+    fn zero_deadline_degenerate() {
+        assert_eq!(satisfaction(SimDuration::ZERO, SimDuration::ZERO), 100.0);
+        assert_eq!(satisfaction(d(1), SimDuration::ZERO), 0.0);
+        assert_eq!(delay_pct(d(1), SimDuration::ZERO), f64::INFINITY);
+    }
+}

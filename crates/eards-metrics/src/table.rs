@@ -1,0 +1,176 @@
+//! Plain-text table rendering for experiment output.
+//!
+//! The experiment binaries print the same rows the paper's tables report;
+//! this module renders them as aligned ASCII/Markdown and as CSV without
+//! pulling in a serialization stack.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Short rows are padded with empty cells; long rows
+    /// panic (a length mismatch is a bug in the experiment harness).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert!(
+            row.len() <= self.header.len(),
+            "row has {} cells but the table has {} columns",
+            row.len(),
+            self.header.len()
+        );
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.chars().count());
+            }
+        }
+        w
+    }
+
+    /// Renders as a GitHub-flavored Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], w: &[usize]| {
+            let mut line = String::from("|");
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(line, " {:<width$} |", cell, width = w[i]);
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &w));
+        out.push('\n');
+        out.push('|');
+        for width in &w {
+            let _ = write!(out, "{}|", "-".repeat(width + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &w));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (RFC-4180 quoting for cells containing `,`, `"` or
+    /// newlines).
+    pub fn to_csv(&self) -> String {
+        let esc = |cell: &str| -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let mut push_row = |cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| esc(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        push_row(&self.header);
+        for row in &self.rows {
+            push_row(row);
+        }
+        out
+    }
+}
+
+/// Formats a float with `prec` decimals, trimming `-0.0` to `0.0`.
+pub fn fnum(x: f64, prec: usize) -> String {
+    let s = format!("{x:.prec$}");
+    if s.starts_with("-0.") && s[1..].parse::<f64>() == Ok(0.0) {
+        s[1..].to_string()
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_alignment() {
+        let mut t = Table::new(["Policy", "Pwr (kWh)"]);
+        t.row(["BF", "1007.3"]);
+        t.row(["SB", "956.4"]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("| Policy |"));
+        assert!(lines[1].starts_with("|--------"));
+        // All rows render to the same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(t.to_csv().lines().nth(1).unwrap().ends_with(",,"));
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn long_rows_panic() {
+        let mut t = Table::new(["a"]);
+        t.row(["1", "2"]);
+    }
+
+    #[test]
+    fn csv_quoting() {
+        let mut t = Table::new(["name", "note"]);
+        t.row(["x,y", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().nth(1).unwrap(), "\"x,y\",\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn fnum_formats() {
+        assert_eq!(fnum(3.25, 1), "3.2");
+        assert_eq!(fnum(-0.0001, 2), "0.00");
+        assert_eq!(fnum(-1.5, 1), "-1.5");
+        assert_eq!(fnum(10.0, 0), "10");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new(["only", "header"]);
+        assert!(t.is_empty());
+        assert_eq!(t.to_markdown().lines().count(), 2);
+        assert_eq!(t.to_csv().lines().count(), 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for the metrics layer: exact integration against a
+//! brute-force reference, summary merging, and the SLA metric's laws.
+
+use proptest::prelude::*;
+
+use eards_metrics::{delay_pct, percentile, satisfaction, Summary, TimeSeries, TimeWeighted};
+use eards_sim::{SimDuration, SimTime};
+
+proptest! {
+    /// TimeSeries integral equals a brute-force per-millisecond sum.
+    #[test]
+    fn integral_matches_brute_force(
+        steps in proptest::collection::vec((1u64..50, -10.0f64..10.0), 1..20),
+        from in 0u64..500,
+        span in 1u64..500,
+    ) {
+        let mut series = TimeSeries::new();
+        let mut t = 0u64;
+        let mut timeline: Vec<(u64, f64)> = Vec::new();
+        for (dt, v) in steps {
+            series.record(SimTime::from_millis(t), v);
+            timeline.push((t, v));
+            t += dt;
+        }
+        let to = from + span;
+        let exact = series.integral(SimTime::from_millis(from), SimTime::from_millis(to));
+
+        // Brute force: value at each millisecond × 1 ms.
+        let value_at = |ms: u64| -> f64 {
+            timeline
+                .iter()
+                .rev()
+                .find(|&&(at, _)| at <= ms)
+                .map(|&(_, v)| v)
+                .unwrap_or(0.0)
+        };
+        let brute: f64 = (from..to).map(|ms| value_at(ms) / 1000.0).sum();
+        prop_assert!((exact - brute).abs() < 1e-6, "exact {exact} vs brute {brute}");
+    }
+
+    /// TimeWeighted agrees with TimeSeries on the same signal.
+    #[test]
+    fn time_weighted_agrees_with_series(
+        values in proptest::collection::vec(0.0f64..100.0, 1..30),
+    ) {
+        let mut series = TimeSeries::new();
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        series.record(SimTime::ZERO, 0.0);
+        for (i, &v) in values.iter().enumerate() {
+            let t = SimTime::from_secs((i as u64 + 1) * 7);
+            series.record(t, v);
+            tw.set(t, v);
+        }
+        let end = SimTime::from_secs((values.len() as u64 + 2) * 7);
+        let a = series.integral(SimTime::ZERO, end);
+        let b = tw.integral(end);
+        prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    /// Merging summaries equals one big summary.
+    #[test]
+    fn summary_merge_associative(
+        xs in proptest::collection::vec(-1e6f64..1e6, 0..50),
+        ys in proptest::collection::vec(-1e6f64..1e6, 0..50),
+    ) {
+        let mut all = Summary::new();
+        for &x in xs.iter().chain(&ys) {
+            all.push(x);
+        }
+        let mut a = Summary::new();
+        for &x in &xs { a.push(x); }
+        let mut b = Summary::new();
+        for &y in &ys { b.push(y); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), all.count());
+        prop_assert!((a.mean() - all.mean()).abs() <= 1e-6 * (1.0 + all.mean().abs()));
+        prop_assert!((a.std_dev() - all.std_dev()).abs() <= 1e-6 * (1.0 + all.std_dev()));
+    }
+
+    /// Percentiles are bounded by min/max and monotone in q.
+    #[test]
+    fn percentile_laws(
+        xs in proptest::collection::vec(-1e3f64..1e3, 1..60),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let lo = q1.min(q2);
+        let hi = q1.max(q2);
+        let p_lo = percentile(&xs, lo).unwrap();
+        let p_hi = percentile(&xs, hi).unwrap();
+        prop_assert!(p_lo <= p_hi + 1e-12);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p_lo >= min - 1e-12 && p_hi <= max + 1e-12);
+    }
+
+    /// The paper's SLA metric: bounded, monotone, and consistent with the
+    /// delay measure.
+    #[test]
+    fn satisfaction_laws(exec_s in 0u64..100_000, dead_s in 1u64..50_000) {
+        let exec = SimDuration::from_secs(exec_s);
+        let dead = SimDuration::from_secs(dead_s);
+        let s = satisfaction(exec, dead);
+        let d = delay_pct(exec, dead);
+        prop_assert!((0.0..=100.0).contains(&s));
+        prop_assert!(d >= 0.0);
+        // Inside the deadline: perfect score, no delay.
+        if exec_s <= dead_s {
+            prop_assert_eq!(s, 100.0);
+            prop_assert_eq!(d, 0.0);
+        }
+        // Past twice the deadline: zero score.
+        if exec_s >= 2 * dead_s {
+            prop_assert_eq!(s, 0.0);
+        }
+        // Mid-band: s and delay are complementary (s = 100 − delay).
+        if exec_s > dead_s && exec_s < 2 * dead_s {
+            prop_assert!((s - (100.0 - d)).abs() < 1e-9);
+        }
+        // Later completion never scores better.
+        let s2 = satisfaction(exec + SimDuration::from_secs(17), dead);
+        prop_assert!(s2 <= s);
+    }
+}

@@ -1,0 +1,126 @@
+//! The scheduling-policy interface.
+//!
+//! A policy looks at the cluster (including the virtual-host queue) and
+//! returns placement actions. The driver validates and executes them,
+//! charging the corresponding virtualization overheads. Node power
+//! management is shared machinery (§III-C): the driver runs the λ
+//! threshold controller and asks the policy only to *rank* candidates, so
+//! the score-based scheduler can pick victims by matrix score while the
+//! baselines use their own heuristics.
+
+use eards_sim::SimTime;
+
+use crate::cluster::Cluster;
+use crate::ids::{HostId, VmId};
+
+/// Why a scheduling round was triggered (§III-A: "a scheduling round is
+/// started when a new VM enters the system, finishes its execution, a
+/// violation in its SLA is detected, or the reliability of a node
+/// changes").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleReason {
+    /// One or more VMs entered the queue.
+    VmArrived,
+    /// A VM finished and released resources.
+    VmFinished,
+    /// An SLA violation was detected.
+    SlaViolation,
+    /// A node changed state (booted, failed, repaired).
+    HostStateChanged,
+    /// Periodic re-evaluation tick.
+    Periodic,
+}
+
+/// Context handed to the policy at each round.
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduleContext {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// What triggered the round.
+    pub reason: ScheduleReason,
+}
+
+/// A placement decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Create a queued VM on a host.
+    Create {
+        /// The queued VM.
+        vm: VmId,
+        /// Target host.
+        host: HostId,
+    },
+    /// Live-migrate a running VM to another host.
+    Migrate {
+        /// The running VM.
+        vm: VmId,
+        /// Destination host.
+        to: HostId,
+    },
+}
+
+/// A VM scheduling policy.
+pub trait Policy {
+    /// Display name (used as the row label in the result tables).
+    fn name(&self) -> String;
+
+    /// Whether the policy ever emits [`Action::Migrate`]. Non-migrating
+    /// policies match the paper's "static allocation" setting (§V-B).
+    fn uses_migration(&self) -> bool {
+        false
+    }
+
+    /// Produces placement actions for the current state. Implementations
+    /// may only emit `Create` for queued VMs and `Migrate` for running
+    /// VMs; the driver validates feasibility before applying.
+    fn schedule(&mut self, cluster: &Cluster, ctx: &ScheduleContext) -> Vec<Action>;
+
+    /// Orders idle-host candidates for power-off at instant `now`, best
+    /// victim first. Default: as given.
+    fn rank_power_off(
+        &self,
+        _cluster: &Cluster,
+        _now: SimTime,
+        candidates: &[HostId],
+    ) -> Vec<HostId> {
+        candidates.to_vec()
+    }
+
+    /// Orders offline-host candidates for power-on, best first.
+    /// Default: as given. The paper selects by "reliability, boot time,
+    /// etc." (§III-C); the score-based policy overrides this.
+    fn rank_power_on(&self, _cluster: &Cluster, candidates: &[HostId]) -> Vec<HostId> {
+        candidates.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use crate::host::{HostClass, HostSpec, PowerState};
+
+    /// A do-nothing policy exercising the trait's defaults.
+    struct Noop;
+    impl Policy for Noop {
+        fn name(&self) -> String {
+            "noop".into()
+        }
+        fn schedule(&mut self, _: &Cluster, _: &ScheduleContext) -> Vec<Action> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn default_rankings_preserve_order() {
+        let c = Cluster::new(
+            vec![HostSpec::standard(HostId(0), HostClass::Fast)],
+            PowerState::On,
+        );
+        let p = Noop;
+        let cands = [HostId(0)];
+        assert_eq!(p.rank_power_off(&c, SimTime::ZERO, &cands), vec![HostId(0)]);
+        assert_eq!(p.rank_power_on(&c, &cands), vec![HostId(0)]);
+        assert!(!p.uses_migration());
+    }
+}

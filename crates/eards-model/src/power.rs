@@ -1,0 +1,340 @@
+//! Host power modeling.
+//!
+//! §IV-A of the paper measures a real 4-way Xen machine and finds that its
+//! power draw does **not** depend on how many VMs run or how they are
+//! configured — only on the *total CPU* they consume (Table I):
+//!
+//! | total CPU | 0% | 100% | 200% | 300% | 400% |
+//! |-----------|----|------|------|------|------|
+//! | power (W) | 230| 259  | 273  | 291  | 304  |
+//!
+//! [`CalibratedPowerModel`] interpolates piecewise-linearly between those
+//! measured points, reproducing Table I by construction. The paper also
+//! notes machines whose draw is constant regardless of load ("should be
+//! avoided"); [`ConstantPowerModel`] models those for ablations, and
+//! [`EnergyProportionalModel`] models the ideal of Barroso & Hölzle that
+//! the paper cites as where the industry should go.
+
+use crate::units::Cpu;
+
+/// Maps a host's CPU consumption to instantaneous power draw.
+pub trait PowerModel: Send + Sync {
+    /// Power in Watts when the host is on and consuming `cpu_used` percent
+    /// points out of `capacity`.
+    fn power_watts(&self, cpu_used: f64, capacity: Cpu) -> f64;
+
+    /// Power when on but idle.
+    fn idle_watts(&self, capacity: Cpu) -> f64 {
+        self.power_watts(0.0, capacity)
+    }
+}
+
+/// Piecewise-linear model over measured `(total cpu %, watts)` points.
+#[derive(Debug, Clone)]
+pub struct CalibratedPowerModel {
+    /// Calibration points, strictly increasing in CPU. The first point's
+    /// CPU must be 0 (the idle measurement).
+    points: Vec<(f64, f64)>,
+    /// CPU capacity of the machine the calibration was taken on.
+    calibrated_capacity: Cpu,
+}
+
+impl CalibratedPowerModel {
+    /// Builds a model from calibration points.
+    ///
+    /// # Panics
+    /// Panics if fewer than two points, points are not strictly increasing
+    /// in CPU, or the first point is not at 0 CPU.
+    pub fn new(points: Vec<(f64, f64)>, calibrated_capacity: Cpu) -> Self {
+        assert!(points.len() >= 2, "need at least idle + one load point");
+        assert_eq!(points[0].0, 0.0, "first calibration point must be idle");
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "calibration points must increase in CPU");
+        }
+        CalibratedPowerModel {
+            points,
+            calibrated_capacity,
+        }
+    }
+
+    /// The paper's Table I calibration: 4-way node, 230 W idle → 304 W at
+    /// 400% CPU.
+    pub fn paper_4way() -> Self {
+        CalibratedPowerModel::new(
+            vec![
+                (0.0, 230.0),
+                (100.0, 259.0),
+                (200.0, 273.0),
+                (300.0, 291.0),
+                (400.0, 304.0),
+            ],
+            Cpu::cores(4),
+        )
+    }
+
+    /// The calibration points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+impl PowerModel for CalibratedPowerModel {
+    fn power_watts(&self, cpu_used: f64, capacity: Cpu) -> f64 {
+        // Rescale the CPU axis when the host's capacity differs from the
+        // calibration machine's (e.g. an 8-way host stretches the curve).
+        let scale = if self.calibrated_capacity.points() == 0 {
+            1.0
+        } else {
+            capacity.as_f64() / self.calibrated_capacity.as_f64()
+        };
+        let x = (cpu_used / scale.max(f64::MIN_POSITIVE)).clamp(
+            0.0,
+            self.points.last().expect("non-empty by construction").0,
+        );
+        let mut iter = self.points.windows(2);
+        while let Some(&[(x0, y0), (x1, y1)]) = iter.next() {
+            if x <= x1 {
+                return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+            }
+        }
+        self.points.last().unwrap().1
+    }
+}
+
+/// A machine whose draw never varies with load — the energy-inefficient
+/// kind §IV-A says to avoid.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantPowerModel {
+    /// Constant draw in Watts.
+    pub watts: f64,
+}
+
+impl PowerModel for ConstantPowerModel {
+    fn power_watts(&self, _cpu_used: f64, _capacity: Cpu) -> f64 {
+        self.watts
+    }
+}
+
+/// The energy-proportional ideal (Barroso & Hölzle, the paper's ref. 30):
+/// zero idle draw, linear to peak.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyProportionalModel {
+    /// Draw at 100% utilization.
+    pub peak_watts: f64,
+}
+
+impl PowerModel for EnergyProportionalModel {
+    fn power_watts(&self, cpu_used: f64, capacity: Cpu) -> f64 {
+        let cap = capacity.as_f64();
+        if cap <= 0.0 {
+            return 0.0;
+        }
+        self.peak_watts * (cpu_used / cap).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAP: Cpu = Cpu(400);
+
+    #[test]
+    fn reproduces_table_1_exactly() {
+        let m = CalibratedPowerModel::paper_4way();
+        // Every measured configuration of Table I depends only on total CPU.
+        assert_eq!(m.power_watts(100.0, CAP), 259.0); // 1 VCPU @ 100%
+        assert_eq!(m.power_watts(200.0, CAP), 273.0); // 2×100 or 1×200
+        assert_eq!(m.power_watts(300.0, CAP), 291.0); // 100+200 or 3×100
+        assert_eq!(m.power_watts(400.0, CAP), 304.0); // 4×100
+        assert_eq!(m.power_watts(0.0, CAP), 230.0); // 4 idle VMs
+        assert_eq!(m.idle_watts(CAP), 230.0);
+    }
+
+    #[test]
+    fn interpolates_between_points() {
+        let m = CalibratedPowerModel::paper_4way();
+        assert_eq!(m.power_watts(50.0, CAP), 244.5); // halfway 230→259
+        assert_eq!(m.power_watts(350.0, CAP), 297.5); // halfway 291→304
+    }
+
+    #[test]
+    fn clamps_beyond_calibration() {
+        let m = CalibratedPowerModel::paper_4way();
+        assert_eq!(m.power_watts(1000.0, CAP), 304.0);
+        assert_eq!(m.power_watts(-5.0, CAP), 230.0);
+    }
+
+    #[test]
+    fn rescales_for_other_capacities() {
+        let m = CalibratedPowerModel::paper_4way();
+        // An 8-way host at 200% CPU sits where the 4-way sat at 100%.
+        assert_eq!(m.power_watts(200.0, Cpu::cores(8)), 259.0);
+        // A 2-way host at full load (200%) sits at the curve's end.
+        assert_eq!(m.power_watts(200.0, Cpu::cores(2)), 304.0);
+    }
+
+    #[test]
+    fn monotone_nondecreasing() {
+        let m = CalibratedPowerModel::paper_4way();
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=80 {
+            let p = m.power_watts(i as f64 * 5.0, CAP);
+            assert!(p >= last);
+            last = p;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "idle")]
+    fn rejects_missing_idle_point() {
+        CalibratedPowerModel::new(vec![(10.0, 100.0), (20.0, 200.0)], CAP);
+    }
+
+    #[test]
+    #[should_panic(expected = "increase")]
+    fn rejects_unsorted_points() {
+        CalibratedPowerModel::new(vec![(0.0, 100.0), (50.0, 150.0), (30.0, 120.0)], CAP);
+    }
+
+    #[test]
+    fn constant_model_ignores_load() {
+        let m = ConstantPowerModel { watts: 250.0 };
+        assert_eq!(m.power_watts(0.0, CAP), 250.0);
+        assert_eq!(m.power_watts(400.0, CAP), 250.0);
+    }
+
+    #[test]
+    fn proportional_model_is_linear() {
+        let m = EnergyProportionalModel { peak_watts: 300.0 };
+        assert_eq!(m.power_watts(0.0, CAP), 0.0);
+        assert_eq!(m.power_watts(200.0, CAP), 150.0);
+        assert_eq!(m.power_watts(400.0, CAP), 300.0);
+        assert_eq!(m.power_watts(800.0, CAP), 300.0);
+        assert_eq!(m.power_watts(100.0, Cpu(0)), 0.0);
+    }
+}
+
+/// A DVFS-governed machine with discrete P-states.
+///
+/// §II of the paper: "DVFS is one of the techniques that can be used to
+/// reduce the consumption of a server ... We rely on the node's underlying
+/// technology which automatically changes the frequency according to the
+/// load." The calibrated Table-I curve captures that governor *smoothed*;
+/// this model exposes the steps explicitly: the governor picks the lowest
+/// P-state whose capacity covers the demanded utilization, and the power
+/// within a state is its idle floor plus a per-CPU slope.
+#[derive(Debug, Clone)]
+pub struct DvfsPowerModel {
+    /// P-states as `(utilization ceiling ∈ (0, 1], idle watts, watts per
+    /// 100% CPU)`, sorted ascending by ceiling; the last ceiling must be
+    /// 1.0.
+    states: Vec<(f64, f64, f64)>,
+}
+
+impl DvfsPowerModel {
+    /// Builds a model from P-states.
+    ///
+    /// # Panics
+    /// Panics if `states` is empty, ceilings are not strictly increasing,
+    /// or the last ceiling is not 1.0.
+    pub fn new(states: Vec<(f64, f64, f64)>) -> Self {
+        assert!(!states.is_empty(), "need at least one P-state");
+        for w in states.windows(2) {
+            assert!(w[0].0 < w[1].0, "P-state ceilings must increase");
+        }
+        assert_eq!(
+            states.last().expect("non-empty").0,
+            1.0,
+            "the top P-state must cover full utilization"
+        );
+        DvfsPowerModel { states }
+    }
+
+    /// A three-state governor roughly matching the Table-I machine's
+    /// envelope: a deep powersave state up to 25% utilization, a mid state
+    /// to 60%, and full frequency above.
+    pub fn three_state_4way() -> Self {
+        DvfsPowerModel::new(vec![
+            (0.25, 228.0, 30.0),
+            (0.60, 244.0, 15.0),
+            (1.00, 252.0, 13.0),
+        ])
+    }
+}
+
+impl PowerModel for DvfsPowerModel {
+    fn power_watts(&self, cpu_used: f64, capacity: Cpu) -> f64 {
+        let cap = capacity.as_f64();
+        if cap <= 0.0 {
+            return self.states[0].1;
+        }
+        let util = (cpu_used / cap).clamp(0.0, 1.0);
+        let &(_, idle, slope) = self
+            .states
+            .iter()
+            .find(|&&(ceil, _, _)| util <= ceil)
+            .expect("last ceiling is 1.0");
+        idle + slope * cpu_used / 100.0
+    }
+}
+
+#[cfg(test)]
+mod dvfs_tests {
+    use super::*;
+
+    const CAP: Cpu = Cpu(400);
+
+    #[test]
+    fn governor_steps_up_with_load() {
+        let m = DvfsPowerModel::three_state_4way();
+        // Powersave state at light load.
+        assert_eq!(m.power_watts(0.0, CAP), 228.0);
+        assert_eq!(m.power_watts(100.0, CAP), 228.0 + 30.0);
+        // Mid state.
+        assert_eq!(m.power_watts(200.0, CAP), 244.0 + 30.0);
+        // Full frequency: 304 W, the Table-I peak.
+        assert_eq!(m.power_watts(400.0, CAP), 252.0 + 52.0);
+    }
+
+    #[test]
+    fn state_transitions_are_discontinuous_upward() {
+        let m = DvfsPowerModel::three_state_4way();
+        // Raising frequency at (nearly) the same load costs power: each
+        // ceiling crossing jumps up.
+        for boundary in [100.0, 240.0] {
+            let below = m.power_watts(boundary, CAP);
+            let above = m.power_watts(boundary + 1.0, CAP);
+            assert!(
+                above > below + 0.5,
+                "no upward step at {boundary}: {below} → {above}"
+            );
+        }
+    }
+
+    #[test]
+    fn envelope_tracks_the_calibrated_curve() {
+        // The stepped model should stay within a few watts of the smooth
+        // Table-I interpolation across the whole load range.
+        let dvfs = DvfsPowerModel::three_state_4way();
+        let cal = CalibratedPowerModel::paper_4way();
+        for i in 0..=40 {
+            let cpu = f64::from(i) * 10.0;
+            let d = dvfs.power_watts(cpu, CAP);
+            let c = cal.power_watts(cpu, CAP);
+            assert!((d - c).abs() < 12.0, "at {cpu}: dvfs {d} vs calibrated {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "full utilization")]
+    fn rejects_incomplete_coverage() {
+        DvfsPowerModel::new(vec![(0.5, 200.0, 10.0)]);
+    }
+
+    #[test]
+    fn zero_capacity_draws_powersave_idle() {
+        let m = DvfsPowerModel::three_state_4way();
+        assert_eq!(m.power_watts(100.0, Cpu(0)), 228.0);
+    }
+}

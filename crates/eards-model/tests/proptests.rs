@@ -1,0 +1,228 @@
+//! Property tests for the datacenter model: credit-scheduler invariants,
+//! power-model laws, occupation math, and a random-operation state
+//! machine over the cluster.
+
+use proptest::prelude::*;
+
+use eards_model::xen::{allocate, CpuContender};
+use eards_model::{
+    CalibratedPowerModel, Cluster, Cpu, HostClass, HostId, HostSpec, Job, JobId, Mem, PowerModel,
+    PowerState, Resources, VmState,
+};
+use eards_sim::{SimDuration, SimTime};
+
+fn contender_strategy() -> impl Strategy<Value = CpuContender> {
+    (0.0f64..500.0, 1.0f64..1024.0, 0.0f64..500.0).prop_map(|(demand, weight, cap)| CpuContender {
+        demand,
+        weight,
+        cap,
+    })
+}
+
+proptest! {
+    /// Weighted max–min fairness invariants (§IV's Xen model).
+    #[test]
+    fn xen_allocation_invariants(
+        capacity in 0.0f64..1600.0,
+        contenders in proptest::collection::vec(contender_strategy(), 0..12),
+    ) {
+        let alloc = allocate(capacity, &contenders);
+        prop_assert_eq!(alloc.len(), contenders.len());
+        let mut total = 0.0;
+        let mut total_bound = 0.0;
+        for (a, c) in alloc.iter().zip(&contenders) {
+            let bound = c.demand.min(c.cap).max(0.0);
+            prop_assert!(*a >= -1e-9, "negative allocation {a}");
+            prop_assert!(*a <= bound + 1e-6, "allocation {a} exceeds bound {bound}");
+            total += a;
+            total_bound += bound;
+        }
+        prop_assert!(total <= capacity + 1e-6, "over-allocated {total} > {capacity}");
+        // Work conservation: all capacity used when demand saturates it.
+        if total_bound >= capacity {
+            prop_assert!((total - capacity).abs() < 1e-6,
+                "not work conserving: {total} of {capacity} (bound {total_bound})");
+        } else {
+            // Unconstrained: everyone gets their bound.
+            prop_assert!((total - total_bound).abs() < 1e-6);
+        }
+    }
+
+    /// Adding a contender never increases anyone else's allocation.
+    #[test]
+    fn xen_allocation_is_monotone_in_contention(
+        capacity in 100.0f64..800.0,
+        base in proptest::collection::vec(contender_strategy(), 1..8),
+        extra in contender_strategy(),
+    ) {
+        let before = allocate(capacity, &base);
+        let mut bigger = base.clone();
+        bigger.push(extra);
+        let after = allocate(capacity, &bigger);
+        for (b, a) in before.iter().zip(&after) {
+            prop_assert!(*a <= b + 1e-6, "allocation rose from {b} to {a} under more contention");
+        }
+    }
+
+    /// The calibrated power model is monotone and bounded by its endpoints.
+    #[test]
+    fn power_model_monotone_and_bounded(cpu_a in 0.0f64..500.0, cpu_b in 0.0f64..500.0) {
+        let m = CalibratedPowerModel::paper_4way();
+        let cap = Cpu::cores(4);
+        let pa = m.power_watts(cpu_a, cap);
+        let pb = m.power_watts(cpu_b, cap);
+        prop_assert!((230.0..=304.0).contains(&pa));
+        if cpu_a <= cpu_b {
+            prop_assert!(pa <= pb + 1e-12);
+        }
+    }
+
+    /// Occupation is the max over per-resource utilizations, scale-free.
+    #[test]
+    fn occupation_laws(cpu in 0u32..2000, mem in 0u32..40_000) {
+        let cap = Resources::new(Cpu(400), Mem(16_384));
+        let used = Resources::new(Cpu(cpu), Mem(mem));
+        let occ = used.occupation_in(cap);
+        let cpu_frac = f64::from(cpu) / 400.0;
+        let mem_frac = f64::from(mem) / 16_384.0;
+        prop_assert!((occ - cpu_frac.max(mem_frac)).abs() < 1e-12);
+        prop_assert!(occ >= 0.0);
+    }
+}
+
+/// Random-operation state machine over the cluster: any legal sequence of
+/// submit / create / finish-create / migrate / finish-migrate / complete /
+/// fail preserves the structural invariants.
+#[derive(Debug, Clone)]
+enum ClusterOp {
+    Submit { cpu_idx: u8, host_bias: u8 },
+    FinishCreation(u8),
+    StartMigration { vm: u8, to: u8 },
+    FinishMigration(u8),
+    CompleteJob(u8),
+    FailHost(u8),
+    RepairAndBoot(u8),
+}
+
+fn cluster_op_strategy() -> impl Strategy<Value = ClusterOp> {
+    prop_oneof![
+        4 => (any::<u8>(), any::<u8>()).prop_map(|(c, h)| ClusterOp::Submit { cpu_idx: c, host_bias: h }),
+        3 => any::<u8>().prop_map(ClusterOp::FinishCreation),
+        2 => (any::<u8>(), any::<u8>()).prop_map(|(vm, to)| ClusterOp::StartMigration { vm, to }),
+        2 => any::<u8>().prop_map(ClusterOp::FinishMigration),
+        2 => any::<u8>().prop_map(ClusterOp::CompleteJob),
+        1 => any::<u8>().prop_map(ClusterOp::FailHost),
+        1 => any::<u8>().prop_map(ClusterOp::RepairAndBoot),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn cluster_state_machine_preserves_invariants(
+        ops in proptest::collection::vec(cluster_op_strategy(), 1..120),
+    ) {
+        const N: u32 = 5;
+        let specs = (0..N)
+            .map(|i| HostSpec::standard(HostId(i), HostClass::Medium))
+            .collect();
+        let mut cluster = Cluster::new(specs, PowerState::On);
+        let mut clock = 0u64;
+        let mut next_job = 0u64;
+
+        for op in ops {
+            clock += 10;
+            let now = SimTime::from_secs(clock);
+            let later = SimTime::from_secs(clock + 60);
+            match op {
+                ClusterOp::Submit { cpu_idx, host_bias } => {
+                    let cpu = Cpu(100 * (1 + u32::from(cpu_idx % 4)));
+                    let vm = cluster.submit_job(Job::new(
+                        JobId(next_job), now, cpu, Mem::gib(1),
+                        SimDuration::from_secs(600), 1.5,
+                    ));
+                    next_job += 1;
+                    // Try to start creating it somewhere.
+                    for k in 0..N {
+                        let h = HostId((u32::from(host_bias) + k) % N);
+                        if cluster.can_place_overcommitted(h, vm) {
+                            cluster.start_creation(vm, h, now, later);
+                            break;
+                        }
+                    }
+                }
+                ClusterOp::FinishCreation(pick) => {
+                    let creating: Vec<_> = cluster.vms()
+                        .filter(|v| v.state == VmState::Creating)
+                        .map(|v| v.id)
+                        .collect();
+                    if !creating.is_empty() {
+                        let vm = creating[usize::from(pick) % creating.len()];
+                        cluster.finish_creation(vm, now);
+                        let host = cluster.vm(vm).host.unwrap();
+                        cluster.reallocate_host(host, now);
+                    }
+                }
+                ClusterOp::StartMigration { vm, to } => {
+                    let running: Vec<_> = cluster.vms()
+                        .filter(|v| v.state == VmState::Running)
+                        .map(|v| v.id)
+                        .collect();
+                    if running.is_empty() { continue; }
+                    let vm = running[usize::from(vm) % running.len()];
+                    let target = HostId(u32::from(to) % N);
+                    if cluster.vm(vm).host != Some(target)
+                        && cluster.can_place_overcommitted(target, vm)
+                    {
+                        cluster.start_migration(vm, target, now, later);
+                    }
+                }
+                ClusterOp::FinishMigration(pick) => {
+                    let migrating: Vec<_> = cluster.vms()
+                        .filter(|v| matches!(v.state, VmState::Migrating { .. }))
+                        .map(|v| v.id)
+                        .collect();
+                    if !migrating.is_empty() {
+                        let vm = migrating[usize::from(pick) % migrating.len()];
+                        cluster.finish_migration(vm, now);
+                    }
+                }
+                ClusterOp::CompleteJob(pick) => {
+                    let running: Vec<_> = cluster.vms()
+                        .filter(|v| v.state == VmState::Running)
+                        .map(|v| v.id)
+                        .collect();
+                    if !running.is_empty() {
+                        let vm = running[usize::from(pick) % running.len()];
+                        cluster.finish_vm(vm, now);
+                    }
+                }
+                ClusterOp::FailHost(pick) => {
+                    let h = HostId(u32::from(pick) % N);
+                    if cluster.host(h).power == PowerState::On {
+                        cluster.fail_host(h, now);
+                    }
+                }
+                ClusterOp::RepairAndBoot(pick) => {
+                    let h = HostId(u32::from(pick) % N);
+                    if cluster.host(h).power == PowerState::Failed {
+                        cluster.repair_host(h);
+                        cluster.begin_power_on(h, now);
+                        cluster.complete_power_on(h);
+                    }
+                }
+            }
+            cluster.check_invariants();
+
+            // Memory is never overcommitted, whatever the sequence did.
+            for i in 0..N {
+                let h = HostId(i);
+                let committed = cluster.committed(h);
+                prop_assert!(
+                    committed.mem <= cluster.host(h).spec.capacity().mem,
+                    "memory overcommitted on {h}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The Backfilling (BF) baseline of Table II: "tries to fill as much as
+//! possible the nodes".
+//!
+//! Best-fit consolidation without migration: each queued VM goes to the
+//! *most occupied* powered-on host where it still fits strictly
+//! (occupation ≤ 100%). If no host fits, the VM waits in the queue — BF
+//! never overcommits, which is why it reaches 98% satisfaction at a
+//! fraction of RD/RR's power in Table II.
+
+use eards_model::{Action, Cluster, HostId, Policy, ScheduleContext, VmId};
+
+use crate::common::{ready_hosts, Planner};
+
+/// The Backfilling placement policy.
+#[derive(Debug, Default)]
+pub struct BackfillingPolicy;
+
+impl BackfillingPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        BackfillingPolicy
+    }
+}
+
+/// Picks the fullest strictly-feasible host for `vm`, if any.
+/// Exposed for reuse by [`crate::DynamicBackfillingPolicy`].
+pub(crate) fn best_fit(planner: &Planner<'_>, ready: &[HostId], vm: VmId) -> Option<HostId> {
+    let mut best: Option<(f64, HostId)> = None;
+    for &h in ready {
+        if !planner.can_place(h, vm) {
+            continue;
+        }
+        let occ = planner.occupation_with(h, vm);
+        // Highest post-placement occupation wins; ties break to the lowest
+        // host id for determinism.
+        let better = match best {
+            None => true,
+            Some((bo, bh)) => occ > bo + 1e-12 || (occ > bo - 1e-12 && h < bh),
+        };
+        if better {
+            best = Some((occ, h));
+        }
+    }
+    best.map(|(_, h)| h)
+}
+
+impl Policy for BackfillingPolicy {
+    fn name(&self) -> String {
+        "BF".into()
+    }
+
+    fn schedule(&mut self, cluster: &Cluster, _ctx: &ScheduleContext) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let mut planner = Planner::new(cluster);
+        let ready = ready_hosts(cluster);
+        for &vm in cluster.queue() {
+            if let Some(host) = best_fit(&planner, &ready, vm) {
+                planner.commit(host, vm);
+                actions.push(Action::Create { vm, host });
+            }
+            // else: wait in the queue — never overcommit.
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eards_model::{Cpu, HostClass, HostSpec, Job, JobId, Mem, PowerState, ScheduleReason};
+    use eards_sim::{SimDuration, SimTime};
+
+    fn ctx() -> ScheduleContext {
+        ScheduleContext {
+            now: SimTime::ZERO,
+            reason: ScheduleReason::VmArrived,
+        }
+    }
+
+    fn cluster(hosts: u32) -> Cluster {
+        Cluster::new(
+            (0..hosts)
+                .map(|i| HostSpec::standard(HostId(i), HostClass::Medium))
+                .collect(),
+            PowerState::On,
+        )
+    }
+
+    fn add_job(c: &mut Cluster, id: u64, cpu: u32) -> VmId {
+        c.submit_job(Job::new(
+            JobId(id),
+            SimTime::ZERO,
+            Cpu(cpu),
+            Mem::gib(1),
+            SimDuration::from_secs(600),
+            1.5,
+        ))
+    }
+
+    #[test]
+    fn packs_onto_one_host_until_full() {
+        let mut c = cluster(4);
+        for i in 0..4 {
+            add_job(&mut c, i, 100);
+        }
+        let actions = BackfillingPolicy::new().schedule(&c, &ctx());
+        assert_eq!(actions.len(), 4);
+        for a in &actions {
+            assert_eq!(
+                *a,
+                Action::Create {
+                    vm: match a {
+                        Action::Create { vm, .. } => *vm,
+                        _ => unreachable!(),
+                    },
+                    host: HostId(0)
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn spills_to_next_host_when_full() {
+        let mut c = cluster(2);
+        for i in 0..5 {
+            add_job(&mut c, i, 200);
+        }
+        let actions = BackfillingPolicy::new().schedule(&c, &ctx());
+        // 2 fit on host 0, 2 on host 1, the fifth must wait.
+        assert_eq!(actions.len(), 4);
+        let mut per_host = [0; 2];
+        for a in &actions {
+            if let Action::Create { host, .. } = a {
+                per_host[host.raw() as usize] += 1;
+            }
+        }
+        assert_eq!(per_host, [2, 2]);
+    }
+
+    #[test]
+    fn prefers_the_fullest_feasible_host() {
+        let mut c = cluster(2);
+        // Pre-load host 1 with a 300% VM.
+        let pre = add_job(&mut c, 0, 300);
+        c.start_creation(pre, HostId(1), SimTime::ZERO, SimTime::from_secs(40));
+        // A 100% job should join host 1 (fills it exactly), not empty host 0.
+        let vm = add_job(&mut c, 1, 100);
+        let actions = BackfillingPolicy::new().schedule(&c, &ctx());
+        assert_eq!(
+            actions,
+            vec![Action::Create {
+                vm,
+                host: HostId(1)
+            }]
+        );
+    }
+
+    #[test]
+    fn never_overcommits() {
+        let mut c = cluster(1);
+        for i in 0..3 {
+            add_job(&mut c, i, 300);
+        }
+        let actions = BackfillingPolicy::new().schedule(&c, &ctx());
+        assert_eq!(actions.len(), 1, "only one 300% VM fits a 400% node");
+    }
+
+    #[test]
+    fn skips_infeasible_but_places_rest() {
+        let mut c = cluster(1);
+        add_job(&mut c, 0, 400); // fills the node
+        add_job(&mut c, 1, 100); // must wait
+        add_job(&mut c, 2, 0); // zero-cpu job still placeable
+        let actions = BackfillingPolicy::new().schedule(&c, &ctx());
+        let vms: Vec<u64> = actions
+            .iter()
+            .map(|a| match a {
+                Action::Create { vm, .. } => vm.raw(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(vms, vec![0, 2]);
+    }
+}

@@ -1,0 +1,28 @@
+//! # eards-policies — baseline scheduling policies
+//!
+//! The comparison policies of the paper's evaluation (§V, Tables II & IV):
+//!
+//! * [`RandomPolicy`] (RD) — uniform random placement, CPU-oblivious;
+//! * [`RoundRobinPolicy`] (RR) — rotating placement, sparsest packing;
+//! * [`BackfillingPolicy`] (BF) — best-fit consolidation, no migration,
+//!   never overcommits;
+//! * [`DynamicBackfillingPolicy`] (DBF) — BF plus cost-oblivious
+//!   consolidation migrations.
+//!
+//! The paper's own contribution — the score-based scheduler — lives in
+//! `eards-core` and implements the same [`eards_model::Policy`] trait.
+//! [`Planner`] (in-round capacity overlay) is shared with it.
+
+#![warn(missing_docs)]
+
+mod backfilling;
+mod common;
+mod dynamic_backfilling;
+mod random;
+mod round_robin;
+
+pub use backfilling::BackfillingPolicy;
+pub use common::{ready_hosts, Planner};
+pub use dynamic_backfilling::DynamicBackfillingPolicy;
+pub use random::RandomPolicy;
+pub use round_robin::RoundRobinPolicy;

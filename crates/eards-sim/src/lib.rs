@@ -1,0 +1,58 @@
+//! # eards-sim — deterministic discrete-event simulation engine
+//!
+//! The simulation substrate of the EARDS reproduction of *"Energy-aware
+//! Scheduling in Virtualized Datacenters"* (Goiri et al., CLUSTER 2010).
+//! The paper builds its power-aware datacenter simulator on OMNeT++ (§IV);
+//! this crate provides the equivalent foundation in pure Rust:
+//!
+//! * [`SimTime`] / [`SimDuration`] — fixed-point (millisecond) simulated
+//!   time, so event ordering is exact and runs never drift.
+//! * [`EventQueue`] — a future-event list with FIFO tie-breaking at equal
+//!   timestamps and O(log n) lazy cancellation.
+//! * [`Simulator`] — the clock + event loop, generic over the model's event
+//!   type.
+//! * [`SimRng`] — a seedable PRNG with the distribution samplers the model
+//!   needs (Normal, LogNormal, Exponential, Weibull, bounded Pareto), plus
+//!   `fork` for decorrelated per-subsystem streams.
+//!
+//! Everything above the engine (hosts, VMs, power) lives in `eards-model`;
+//! everything in the paper's evaluation (policies, the score-based
+//! scheduler) lives in `eards-policies` / `eards-core`.
+//!
+//! ## Example
+//!
+//! ```
+//! use eards_sim::{run, SimTime, SimDuration, Simulator};
+//!
+//! #[derive(Debug)]
+//! enum Event { Tick(u32) }
+//!
+//! let mut sim = Simulator::new();
+//! sim.schedule_at(SimTime::from_secs(1), Event::Tick(0));
+//! let mut ticks = 0u32;
+//! run(&mut sim, &mut ticks, SimTime::from_secs(10), |sim, ticks, _, ev| {
+//!     let Event::Tick(i) = ev;
+//!     *ticks += 1;
+//!     if i < 100 {
+//!         sim.schedule_after(SimDuration::from_secs(2), Event::Tick(i + 1));
+//!     }
+//! });
+//! assert_eq!(ticks, 5); // t = 1, 3, 5, 7, 9
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+mod queue;
+mod rng;
+mod time;
+mod wheel;
+
+pub use engine::{run, Simulator};
+pub use queue::{EventHandle, EventQueue};
+pub use rng::SimRng;
+pub use time::{
+    SimDuration, SimTime, MILLIS_PER_DAY, MILLIS_PER_HOUR, MILLIS_PER_MIN, MILLIS_PER_SEC,
+    MILLIS_PER_WEEK,
+};
+pub use wheel::WheelQueue;

@@ -1,0 +1,224 @@
+//! The pending-event set of the discrete-event engine.
+//!
+//! A binary min-heap ordered by `(time, sequence)`: two events scheduled for
+//! the same instant pop in scheduling order, which makes runs reproducible
+//! regardless of heap internals. Cancellation is *lazy*: a cancelled handle
+//! goes into a tombstone set and the entry is discarded when it surfaces,
+//! keeping both `schedule` and `cancel` O(log n) / O(1).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// An opaque handle identifying one scheduled event, usable to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventHandle(u64);
+
+impl EventHandle {
+    /// Builds a handle from a raw sequence number (crate-internal: the
+    /// alternative queue implementations share the handle type).
+    pub(crate) fn from_raw(seq: u64) -> Self {
+        EventHandle(seq)
+    }
+
+    /// The raw sequence number.
+    pub(crate) fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+// Manual impls: the heap is a max-heap, so reverse the natural order to get
+// earliest-first, and among equal times, lowest sequence first.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event list: the core data structure of the DES engine.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Sequence numbers that are scheduled and not cancelled.
+    pending: HashSet<u64>,
+    /// Tombstones: cancelled entries still physically in the heap.
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Number of live (non-cancelled) scheduled events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Schedules `payload` at `time`, returning a handle for cancellation.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+        self.pending.insert(seq);
+        EventHandle(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending, `false` if it had
+    /// already fired or been cancelled.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if self.pending.remove(&handle.0) {
+            self.cancelled.insert(handle.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Time of the next live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skim_cancelled();
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Removes and returns the next live event as `(time, handle, payload)`.
+    pub fn pop(&mut self) -> Option<(SimTime, EventHandle, E)> {
+        self.skim_cancelled();
+        let entry = self.heap.pop()?;
+        self.pending.remove(&entry.seq);
+        Some((entry.time, EventHandle(entry.seq), entry.payload))
+    }
+
+    /// Drops cancelled entries sitting at the top of the heap.
+    fn skim_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.remove(&top.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), "c");
+        q.schedule(t(1), "a");
+        q.schedule(t(3), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(t(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(h1));
+        assert_eq!(q.len(), 1);
+        assert!(!q.cancel(h1), "double cancel must fail");
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some("b"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_after_fire_fails() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(t(1), ());
+        let (_, popped, _) = q.pop().unwrap();
+        assert_eq!(popped, h);
+        assert!(!q.cancel(h));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_unknown_handle_fails() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventHandle(12345)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(t(1), "dead");
+        q.schedule(t(2), "live");
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(t(2)));
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some("live"));
+    }
+
+    #[test]
+    fn interleaved_schedule_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), 10);
+        q.schedule(t(20), 20);
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some(10));
+        q.schedule(t(15), 15);
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some(15));
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some(20));
+        assert_eq!(q.pop().map(|(ti, _, _)| ti), None);
+        let _ = SimDuration::ZERO; // keep import used in this cfg
+    }
+}

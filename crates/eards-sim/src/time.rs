@@ -1,0 +1,317 @@
+//! Simulation time.
+//!
+//! Simulated time is kept as an integer number of **milliseconds** since the
+//! start of the simulation. Using a fixed-point representation (rather than
+//! `f64` seconds) keeps event ordering exact and runs deterministic: two
+//! events scheduled for the same instant always compare equal, and adding
+//! durations never accumulates rounding error over a week-long simulation
+//! (6.048e8 ms, far below `u64::MAX`).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// Milliseconds in one second.
+pub const MILLIS_PER_SEC: u64 = 1_000;
+/// Milliseconds in one minute.
+pub const MILLIS_PER_MIN: u64 = 60 * MILLIS_PER_SEC;
+/// Milliseconds in one hour.
+pub const MILLIS_PER_HOUR: u64 = 60 * MILLIS_PER_MIN;
+/// Milliseconds in one day.
+pub const MILLIS_PER_DAY: u64 = 24 * MILLIS_PER_HOUR;
+/// Milliseconds in one week.
+pub const MILLIS_PER_WEEK: u64 = 7 * MILLIS_PER_DAY;
+
+/// An instant of simulated time (milliseconds since simulation start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time (milliseconds).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation origin (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; useful as an "never" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from raw milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Creates an instant from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * MILLIS_PER_SEC)
+    }
+
+    /// Creates an instant from fractional seconds, rounding to the nearest
+    /// millisecond. Negative inputs saturate to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimTime(secs_f64_to_millis(secs))
+    }
+
+    /// Raw milliseconds since simulation start.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MILLIS_PER_SEC as f64
+    }
+
+    /// Hours since simulation start, as a float.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / MILLIS_PER_HOUR as f64
+    }
+
+    /// Time elapsed since `earlier`, saturating to zero if `earlier` is in
+    /// the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration (`None` on overflow).
+    pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+}
+
+impl SimDuration {
+    /// A zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable span.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a span from raw milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    /// Creates a span from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * MILLIS_PER_SEC)
+    }
+
+    /// Creates a span from whole minutes.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimDuration(mins * MILLIS_PER_MIN)
+    }
+
+    /// Creates a span from whole hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * MILLIS_PER_HOUR)
+    }
+
+    /// Creates a span from whole days.
+    pub const fn from_days(days: u64) -> Self {
+        SimDuration(days * MILLIS_PER_DAY)
+    }
+
+    /// Creates a span from fractional seconds, rounding to the nearest
+    /// millisecond. Negative inputs saturate to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimDuration(secs_f64_to_millis(secs))
+    }
+
+    /// Raw milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MILLIS_PER_SEC as f64
+    }
+
+    /// Hours, as a float.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / MILLIS_PER_HOUR as f64
+    }
+
+    /// True if the span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies the span by a non-negative float, rounding to the nearest
+    /// millisecond.
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        debug_assert!(k >= 0.0, "duration scale factor must be non-negative");
+        SimDuration((self.0 as f64 * k).round().max(0.0) as u64)
+    }
+}
+
+fn secs_f64_to_millis(secs: f64) -> u64 {
+    if !secs.is_finite() {
+        if secs > 0.0 {
+            return u64::MAX;
+        }
+        return 0;
+    }
+    (secs * MILLIS_PER_SEC as f64).round().max(0.0) as u64
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(self >= rhs, "SimTime subtraction went negative");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(self >= rhs, "SimDuration subtraction went negative");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", format_millis(self.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_millis(self.0))
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_millis(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_millis(self.0))
+    }
+}
+
+/// Formats milliseconds as `DdHH:MM:SS.mmm`, omitting leading zero fields.
+fn format_millis(ms: u64) -> String {
+    let days = ms / MILLIS_PER_DAY;
+    let hours = (ms % MILLIS_PER_DAY) / MILLIS_PER_HOUR;
+    let mins = (ms % MILLIS_PER_HOUR) / MILLIS_PER_MIN;
+    let secs = (ms % MILLIS_PER_MIN) / MILLIS_PER_SEC;
+    let millis = ms % MILLIS_PER_SEC;
+    if days > 0 {
+        format!("{days}d{hours:02}:{mins:02}:{secs:02}.{millis:03}")
+    } else if hours > 0 {
+        format!("{hours}:{mins:02}:{secs:02}.{millis:03}")
+    } else {
+        format!("{mins}:{secs:02}.{millis:03}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_round_trips() {
+        assert_eq!(SimTime::from_secs(3).as_millis(), 3000);
+        assert_eq!(SimDuration::from_hours(2).as_secs_f64(), 7200.0);
+        assert_eq!(SimDuration::from_days(1).as_millis(), MILLIS_PER_DAY);
+        assert_eq!(SimDuration::from_mins(3).as_millis(), 180_000);
+        assert_eq!(SimTime::from_secs_f64(1.5).as_millis(), 1500);
+    }
+
+    #[test]
+    fn from_secs_f64_saturates_and_rounds() {
+        assert_eq!(SimTime::from_secs_f64(-4.0), SimTime::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(0.0004), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(0.0006).as_millis(), 1);
+        assert_eq!(SimTime::from_secs_f64(f64::INFINITY), SimTime::MAX);
+        assert_eq!(SimTime::from_secs_f64(f64::NEG_INFINITY), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10);
+        let d = SimDuration::from_secs(4);
+        assert_eq!(t + d, SimTime::from_secs(14));
+        assert_eq!((t + d) - t, d);
+        assert_eq!(
+            t.saturating_since(SimTime::from_secs(30)),
+            SimDuration::ZERO
+        );
+        assert_eq!(d.mul_f64(2.5), SimDuration::from_secs(10));
+        assert_eq!(
+            d.saturating_sub(SimDuration::from_secs(9)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn add_saturates_at_max() {
+        assert_eq!(SimTime::MAX + SimDuration::from_secs(1), SimTime::MAX);
+        assert_eq!(SimTime::MAX.checked_add(SimDuration::from_secs(1)), None);
+        assert_eq!(
+            SimTime::ZERO.checked_add(SimDuration::from_secs(1)),
+            Some(SimTime::from_secs(1))
+        );
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
+        assert!(SimDuration::from_millis(999) < SimDuration::from_secs(1));
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_secs(62).to_string(), "1:02.000");
+        assert_eq!(SimTime::from_secs(3_723).to_string(), "1:02:03.000");
+        assert_eq!(
+            SimTime::from_millis(MILLIS_PER_DAY + 1500).to_string(),
+            "1d00:00:01.500"
+        );
+        assert_eq!(format!("{:?}", SimTime::from_secs(1)), "t+0:01.000");
+    }
+}

@@ -1,0 +1,31 @@
+//! # eards-workload — workload generation and trace parsing
+//!
+//! The paper evaluates on "slightly modified real Grid traces" — a
+//! Grid5000 week from the Grid Workloads Archive (§IV, §V). This crate
+//! provides the workload layer of the reproduction:
+//!
+//! * [`synth`] — a synthetic Grid5000-like generator (non-homogeneous
+//!   Poisson arrivals, diurnal/weekend modulation, heavy-tailed grid job
+//!   mix) calibrated to the paper's published load level. This is the
+//!   documented substitution for the non-redistributable real trace.
+//! * [`parse_swf`] / [`write_swf`] — Standard Workload Format I/O, so a real archive trace
+//!   can be dropped in.
+//! * [`validation_workload`] — the deterministic 7-task, 1300-second
+//!   scenario reproducing the simulator-validation experiment of Fig. 1.
+//! * [`Trace`] / [`TraceStats`] — the common trace type.
+
+#![warn(missing_docs)]
+
+mod analysis;
+mod swf;
+pub mod synth;
+mod trace;
+pub mod typology;
+mod validation;
+
+pub use analysis::{analyze, TraceAnalysis};
+pub use swf::{parse_swf, write_swf, SwfError, SwfOptions};
+pub use synth::{generate, SynthConfig};
+pub use trace::{Trace, TraceStats};
+pub use typology::JobClass;
+pub use validation::{validation_workload, VALIDATION_SPAN};

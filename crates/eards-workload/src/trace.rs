@@ -1,0 +1,139 @@
+//! Workload traces: ordered job arrival sequences plus summary statistics.
+
+use eards_model::Job;
+use eards_sim::{SimDuration, SimTime};
+
+/// A workload trace: jobs ordered by submission time.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    jobs: Vec<Job>,
+}
+
+/// Aggregate statistics of a trace, for sanity checks and reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Time of the last submission.
+    pub span: SimDuration,
+    /// Total work across jobs, in CPU·hours (100 cpu% for 1 h = 1).
+    pub total_cpu_hours: f64,
+    /// Average *offered load* in cores: total work divided by the span.
+    pub avg_offered_cores: f64,
+    /// Mean dedicated runtime in seconds.
+    pub mean_runtime_secs: f64,
+    /// Largest single-job CPU demand (percent points).
+    pub max_cpu_demand: u32,
+}
+
+impl Trace {
+    /// Builds a trace, sorting by submission time (stable: equal-time jobs
+    /// keep their relative order).
+    pub fn new(mut jobs: Vec<Job>) -> Self {
+        jobs.sort_by_key(|j| j.submit);
+        Trace { jobs }
+    }
+
+    /// The jobs, ordered by submit time.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True if there are no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Consumes the trace, yielding its jobs.
+    pub fn into_jobs(self) -> Vec<Job> {
+        self.jobs
+    }
+
+    /// Submission time of the last job (ZERO for an empty trace).
+    pub fn span(&self) -> SimDuration {
+        self.jobs
+            .last()
+            .map(|j| j.submit.saturating_since(SimTime::ZERO))
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Computes aggregate statistics.
+    pub fn stats(&self) -> TraceStats {
+        let total_work_cpu_secs: f64 = self.jobs.iter().map(|j| j.total_work()).sum();
+        let total_cpu_hours = total_work_cpu_secs / 100.0 / 3600.0;
+        let span = self.span();
+        let span_hours = span.as_hours_f64();
+        TraceStats {
+            jobs: self.jobs.len(),
+            span,
+            total_cpu_hours,
+            avg_offered_cores: if span_hours > 0.0 {
+                total_cpu_hours / span_hours
+            } else {
+                0.0
+            },
+            mean_runtime_secs: if self.jobs.is_empty() {
+                0.0
+            } else {
+                self.jobs
+                    .iter()
+                    .map(|j| j.dedicated.as_secs_f64())
+                    .sum::<f64>()
+                    / self.jobs.len() as f64
+            },
+            max_cpu_demand: self.jobs.iter().map(|j| j.cpu.points()).max().unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eards_model::{Cpu, JobId, Mem};
+
+    fn job(id: u64, submit_secs: u64, cpu: u32, dur_secs: u64) -> Job {
+        Job::new(
+            JobId(id),
+            SimTime::from_secs(submit_secs),
+            Cpu(cpu),
+            Mem::gib(1),
+            SimDuration::from_secs(dur_secs),
+            1.5,
+        )
+    }
+
+    #[test]
+    fn sorts_by_submit_time() {
+        let t = Trace::new(vec![job(1, 50, 100, 10), job(2, 10, 100, 10)]);
+        assert_eq!(t.jobs()[0].id.raw(), 2);
+        assert_eq!(t.jobs()[1].id.raw(), 1);
+    }
+
+    #[test]
+    fn stats_totals() {
+        // Two jobs: 1 core for 1 h + 2 cores for half an hour = 2 CPU·h.
+        let t = Trace::new(vec![job(1, 0, 100, 3600), job(2, 7200, 200, 1800)]);
+        let s = t.stats();
+        assert_eq!(s.jobs, 2);
+        assert_eq!(s.span, SimDuration::from_secs(7200));
+        assert!((s.total_cpu_hours - 2.0).abs() < 1e-9);
+        assert!((s.avg_offered_cores - 1.0).abs() < 1e-9);
+        assert_eq!(s.mean_runtime_secs, 2700.0);
+        assert_eq!(s.max_cpu_demand, 200);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let t = Trace::new(vec![]);
+        assert!(t.is_empty());
+        let s = t.stats();
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.avg_offered_cores, 0.0);
+        assert_eq!(s.max_cpu_demand, 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for workload generation and SWF parsing.
+
+use proptest::prelude::*;
+
+use eards_sim::SimDuration;
+use eards_workload::{generate, parse_swf, SwfOptions, SynthConfig, Trace};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Whatever the configuration, generated traces are structurally
+    /// valid: sorted, in-span, node-fitting, paper-range deadlines.
+    #[test]
+    fn generated_traces_are_well_formed(
+        seed in any::<u64>(),
+        hours in 1u64..72,
+        rate in 1.0f64..40.0,
+        amplitude in 0.0f64..0.9,
+        weekend in 0.1f64..1.0,
+    ) {
+        let cfg = SynthConfig {
+            span: SimDuration::from_hours(hours),
+            events_per_hour: rate,
+            diurnal_amplitude: amplitude,
+            weekend_factor: weekend,
+            ..SynthConfig::grid5000_week()
+        };
+        let trace = generate(&cfg, seed);
+        let jobs = trace.jobs();
+        for w in jobs.windows(2) {
+            prop_assert!(w[0].submit <= w[1].submit, "unsorted");
+        }
+        for j in jobs {
+            prop_assert!(j.submit.saturating_since(eards_sim::SimTime::ZERO) <= cfg.span);
+            prop_assert!(j.cpu.points() >= 1 && j.cpu.points() <= 400);
+            prop_assert!((1.2..=2.0).contains(&j.deadline_factor));
+            prop_assert!(j.dedicated >= SimDuration::from_secs(30));
+            prop_assert!(j.mem.mib() >= 256);
+        }
+        // Ids are dense 0..n.
+        let mut ids: Vec<u64> = jobs.iter().map(|j| j.id.raw()).collect();
+        ids.sort_unstable();
+        for (i, id) in ids.iter().enumerate() {
+            prop_assert_eq!(*id, i as u64);
+        }
+    }
+
+    /// Trace stats are consistent with their definitions.
+    #[test]
+    fn trace_stats_consistent(seed in any::<u64>(), hours in 2u64..48) {
+        let cfg = SynthConfig {
+            span: SimDuration::from_hours(hours),
+            ..SynthConfig::grid5000_week()
+        };
+        let trace = generate(&cfg, seed);
+        let stats = trace.stats();
+        prop_assert_eq!(stats.jobs, trace.len());
+        let manual: f64 = trace
+            .jobs()
+            .iter()
+            .map(|j| j.total_work() / 100.0 / 3600.0)
+            .sum();
+        prop_assert!((stats.total_cpu_hours - manual).abs() < 1e-9);
+        if let Some(max) = trace.jobs().iter().map(|j| j.cpu.points()).max() {
+            prop_assert_eq!(stats.max_cpu_demand, max);
+        }
+    }
+
+    /// SWF parsing never panics on structurally valid numeric lines, and
+    /// produced jobs respect the option caps.
+    #[test]
+    fn swf_parse_total(
+        rows in proptest::collection::vec(
+            (0.0f64..1e6, -1.0f64..1e5, 1.0f64..128.0, -1.0f64..1e6, 0i64..1000),
+            0..30,
+        ),
+    ) {
+        let mut text = String::from("; header\n");
+        for (submit, run, procs, req_time, user) in &rows {
+            text.push_str(&format!(
+                "1 {submit} 0 {run} {procs} -1 -1 {procs} {req_time} -1 1 {user} 1 1 1 1 -1 -1\n"
+            ));
+        }
+        let opts = SwfOptions::default();
+        let trace: Trace = parse_swf(&text, &opts).expect("valid lines must parse");
+        for j in trace.jobs() {
+            prop_assert!(j.cpu.points() <= opts.max_cpu);
+            prop_assert!(j.dedicated > SimDuration::ZERO);
+            let (lo, hi) = opts.deadline_factor_range;
+            prop_assert!((lo..=hi).contains(&j.deadline_factor));
+        }
+        prop_assert!(trace.len() <= rows.len());
+    }
+}

@@ -1,0 +1,52 @@
+//! Watch a datacenter think: run a short busy morning with the audit log
+//! enabled and print the full timeline of scheduler decisions — arrivals,
+//! placements, migrations, node power transitions, completions.
+//!
+//! Run with: `cargo run --release --example datacenter_timeline`
+
+use eards::datacenter::{render_log, AuditKind};
+use eards::prelude::*;
+
+fn main() {
+    let hosts = eards::datacenter::small_datacenter(6, HostClass::Medium);
+    let trace = eards::workload::generate(
+        &SynthConfig {
+            span: SimDuration::from_hours(2),
+            events_per_hour: 6.0,
+            ..SynthConfig::grid5000_week()
+        },
+        13,
+    );
+    let cfg = RunConfig {
+        initial_on: 2,
+        min_exec: 1,
+        audit: true,
+        consolidation_period: Some(SimDuration::from_mins(10)),
+        ..RunConfig::default()
+    };
+    let (report, audit) = Runner::new(
+        hosts,
+        trace,
+        Box::new(ScoreScheduler::new(ScoreConfig::sb())),
+        cfg,
+    )
+    .run_audited();
+
+    println!("{}", render_log(&audit));
+    println!("--- {} events ---", audit.len());
+
+    // A small tally of what the datacenter did.
+    let count = |f: fn(&AuditKind) -> bool| audit.iter().filter(|e| f(&e.kind)).count();
+    println!(
+        "placements: {}  migrations: {}  boots: {}  shutdowns: {}  completions: {}",
+        count(|k| matches!(k, AuditKind::CreationStarted { .. })),
+        count(|k| matches!(k, AuditKind::MigrationStarted { .. })),
+        count(|k| matches!(k, AuditKind::HostPoweringOn { .. })),
+        count(|k| matches!(k, AuditKind::HostPoweringOff { .. })),
+        count(|k| matches!(k, AuditKind::JobCompleted { .. })),
+    );
+    println!(
+        "result: {:.1} kWh, S = {:.1}%, {} jobs",
+        report.energy_kwh, report.satisfaction_pct, report.jobs_total
+    );
+}

@@ -1,0 +1,45 @@
+//! Quickstart: simulate six hours of grid load on a small virtualized
+//! datacenter under the paper's score-based scheduler, and print the
+//! energy / SLA report.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use eards::prelude::*;
+
+fn main() {
+    // 1. A datacenter: eight 4-way Xen nodes of the paper's "medium"
+    //    overhead class (VM creation 40 s, migration 60 s).
+    let hosts = eards::datacenter::small_datacenter(8, HostClass::Medium);
+
+    // 2. A workload: six hours of synthetic Grid5000-like arrivals.
+    let trace = eards::workload::generate(
+        &SynthConfig {
+            span: SimDuration::from_hours(6),
+            ..SynthConfig::grid5000_week()
+        },
+        42,
+    );
+    println!(
+        "workload: {} jobs, {:.1} CPU·hours offered",
+        trace.len(),
+        trace.stats().total_cpu_hours
+    );
+
+    // 3. The paper's policy: score-based scheduling with all overhead
+    //    penalties and migration (the "SB" configuration of Table IV).
+    let policy = Box::new(ScoreScheduler::new(ScoreConfig::sb()));
+
+    // 4. Simulate. RunConfig::default() is the paper's balanced setting:
+    //    λ_min = 30 %, λ_max = 90 %, creation jitter N(µ, 2.5 s).
+    let report = Runner::new(hosts, trace, policy, RunConfig::default()).run();
+
+    // 5. The numbers the paper's tables report.
+    println!(
+        "{}",
+        RunReport::table(std::slice::from_ref(&report)).to_markdown()
+    );
+    println!(
+        "energy {:.1} kWh | satisfaction {:.1}% | {} migrations | avg {:.1} nodes working",
+        report.energy_kwh, report.satisfaction_pct, report.migrations, report.avg_working_nodes
+    );
+}

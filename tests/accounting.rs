@@ -1,0 +1,157 @@
+//! Hand-computed accounting checks: a single-job scenario whose timeline
+//! can be written down exactly (creation jitter disabled), verifying the
+//! driver's energy integration, SLA math and CPU-hour accounting against
+//! pen-and-paper numbers.
+
+use eards::prelude::*;
+
+/// One 4-way medium node, one job: 400 cpu% for 100 s dedicated, deadline
+/// factor 1.5 (⇒ 150 s), creation cost exactly 40 s (jitter disabled).
+fn run_single_job() -> RunReport {
+    let hosts = eards::datacenter::small_datacenter(1, HostClass::Medium);
+    let job = Job::new(
+        JobId(0),
+        SimTime::ZERO,
+        Cpu(400),
+        Mem::gib(2),
+        SimDuration::from_secs(100),
+        1.5,
+    );
+    let cfg = RunConfig {
+        initial_on: 1,
+        min_exec: 1,
+        creation_jitter_std: 0.0,
+        record_power_series: true,
+        ..RunConfig::default()
+    };
+    Runner::new(
+        hosts,
+        Trace::new(vec![job]),
+        Box::new(BackfillingPolicy::new()),
+        cfg,
+    )
+    .run()
+}
+
+#[test]
+fn single_job_timeline_and_energy_match_hand_calculation() {
+    let report = run_single_job();
+    assert_eq!(report.jobs_completed, 1);
+    let job = &report.jobs[0];
+
+    // Timeline: creation [0, 40) s, execution [40, 140] s (+1 ms guard).
+    let completed = job.completed.expect("job finishes");
+    let exec_secs = completed.saturating_since(SimTime::ZERO).as_secs_f64();
+    assert!(
+        (140.0..140.1).contains(&exec_secs),
+        "completion at {exec_secs}"
+    );
+
+    // SLA: 140 s < 150 s deadline ⇒ S = 100, delay = 0.
+    assert_eq!(job.satisfaction, 100.0);
+    assert_eq!(job.delay_pct, 0.0);
+    assert_eq!(report.satisfaction_pct, 100.0);
+
+    // CPU hours: 400 cpu% held for 100 s ⇒ 4 · (100/3600) ≈ 0.1111.
+    assert!(
+        (job.cpu_hours - 4.0 * 100.0 / 3600.0).abs() < 0.001,
+        "cpu_hours {}",
+        job.cpu_hours
+    );
+
+    // Energy: 40 s at P(50) = 244.5 W (idle + creation overhead), then
+    // 100 s at P(400) = 304 W. In kWh:
+    let expected_kwh = (40.0 * 244.5 + 100.0 * 304.0) / 3600.0 / 1000.0;
+    assert!(
+        (report.energy_kwh - expected_kwh).abs() / expected_kwh < 0.01,
+        "energy {} vs expected {}",
+        report.energy_kwh,
+        expected_kwh
+    );
+
+    // The power series shows exactly those two plateaus.
+    let series = &report.power_watts;
+    assert_eq!(series.value_at(SimTime::from_secs(10)), Some(244.5));
+    assert_eq!(series.value_at(SimTime::from_secs(100)), Some(304.0));
+}
+
+#[test]
+fn contended_job_misses_its_deadline_by_the_predicted_amount() {
+    // Two 400-cpu jobs forced onto one node (Random overcommits): each
+    // gets 200 cpu% ⇒ runs at half speed. Dedicated 100 s ⇒ ~200 s of
+    // execution after a 40 s creation ⇒ ~240 s total vs a 150 s deadline.
+    // S = 100·(1 − (240 − 150)/150) = 40%.
+    let hosts = eards::datacenter::small_datacenter(1, HostClass::Medium);
+    let mk = |id: u64| {
+        Job::new(
+            JobId(id),
+            SimTime::ZERO,
+            Cpu(400),
+            Mem::gib(1),
+            SimDuration::from_secs(100),
+            1.5,
+        )
+    };
+    let cfg = RunConfig {
+        initial_on: 1,
+        min_exec: 1,
+        creation_jitter_std: 0.0,
+        ..RunConfig::default()
+    };
+    let report = Runner::new(
+        hosts,
+        Trace::new(vec![mk(0), mk(1)]),
+        Box::new(RandomPolicy::new(1)),
+        cfg,
+    )
+    .run();
+    assert_eq!(report.jobs_completed, 2);
+    for job in &report.jobs {
+        // Both creations overlap; dom0 overhead (2 × 50 cpu) shaves the
+        // VM shares during creation, so completion lands a bit past 240 s.
+        assert!(
+            (35.0..45.0).contains(&job.satisfaction),
+            "S = {}",
+            job.satisfaction
+        );
+        assert!(
+            (55.0..70.0).contains(&job.delay_pct),
+            "delay = {}",
+            job.delay_pct
+        );
+    }
+}
+
+#[test]
+fn idle_datacenter_draws_idle_power_only() {
+    // No jobs, 2 nodes on, horizon forced by a single late tiny job.
+    let hosts = eards::datacenter::small_datacenter(2, HostClass::Medium);
+    let job = Job::new(
+        JobId(0),
+        SimTime::from_secs(3600),
+        Cpu(0),
+        Mem(256),
+        SimDuration::from_secs(1),
+        2.0,
+    );
+    let cfg = RunConfig {
+        initial_on: 2,
+        min_exec: 2,
+        creation_jitter_std: 0.0,
+        ..RunConfig::default()
+    };
+    let report = Runner::new(
+        hosts,
+        Trace::new(vec![job]),
+        Box::new(BackfillingPolicy::new()),
+        cfg,
+    )
+    .run();
+    // One hour of two idle nodes: 2 × 230 W × 1 h = 0.46 kWh, plus the
+    // ~40 s zero-work VM creation tail.
+    assert!(
+        (0.46..0.48).contains(&report.energy_kwh),
+        "energy {}",
+        report.energy_kwh
+    );
+}

@@ -1,0 +1,182 @@
+//! Audit-log consistency: the recorded timeline must obey the lifecycle
+//! protocol for every VM and host, and agree with the aggregate report.
+
+use std::collections::HashMap;
+
+use eards::datacenter::{AuditEvent, AuditKind};
+use eards::prelude::*;
+
+fn audited_run(seed: u64, migration: bool) -> (RunReport, Vec<AuditEvent>) {
+    let hosts = eards::datacenter::small_datacenter(8, HostClass::Medium);
+    let trace = eards::workload::generate(
+        &SynthConfig {
+            span: SimDuration::from_hours(6),
+            ..SynthConfig::grid5000_week()
+        },
+        seed,
+    );
+    let cfg = RunConfig {
+        audit: true,
+        ..RunConfig::default()
+    };
+    let policy: Box<dyn Policy> = if migration {
+        Box::new(ScoreScheduler::new(ScoreConfig::sb()))
+    } else {
+        Box::new(BackfillingPolicy::new())
+    };
+    Runner::new(hosts, trace, policy, cfg).run_audited()
+}
+
+#[test]
+fn log_is_time_ordered_and_counts_match_report() {
+    let (report, audit) = audited_run(5, true);
+    assert!(!audit.is_empty());
+    for w in audit.windows(2) {
+        assert!(w[0].at <= w[1].at, "audit log out of order");
+    }
+    let count = |f: fn(&AuditKind) -> bool| audit.iter().filter(|e| f(&e.kind)).count() as u64;
+    assert_eq!(
+        count(|k| matches!(k, AuditKind::JobArrived { .. })),
+        report.jobs_total
+    );
+    assert_eq!(
+        count(|k| matches!(k, AuditKind::CreationStarted { .. })),
+        report.creations
+    );
+    assert_eq!(
+        count(|k| matches!(k, AuditKind::MigrationStarted { .. })),
+        report.migrations
+    );
+    assert_eq!(
+        count(|k| matches!(k, AuditKind::JobCompleted { .. })),
+        report.jobs_completed
+    );
+}
+
+#[test]
+fn every_vm_follows_the_lifecycle_protocol() {
+    let (_, audit) = audited_run(6, true);
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum S {
+        Queued,
+        Creating,
+        Running,
+        Migrating,
+        Done,
+    }
+    let mut state: HashMap<u64, S> = HashMap::new();
+    for e in &audit {
+        match &e.kind {
+            AuditKind::JobArrived { vm } => {
+                assert!(
+                    state.insert(vm.raw(), S::Queued).is_none(),
+                    "{vm} arrived twice"
+                );
+            }
+            AuditKind::CreationStarted { vm, .. } => {
+                let s = state.get_mut(&vm.raw()).expect("created before arrival");
+                assert_eq!(*s, S::Queued, "{vm} created while {s:?}");
+                *s = S::Creating;
+            }
+            AuditKind::VmStarted { vm, .. } => {
+                let s = state.get_mut(&vm.raw()).expect("started before arrival");
+                assert_eq!(*s, S::Creating, "{vm} started while {s:?}");
+                *s = S::Running;
+            }
+            AuditKind::MigrationStarted { vm, from, to } => {
+                assert_ne!(from, to);
+                let s = state.get_mut(&vm.raw()).expect("migrated before arrival");
+                assert_eq!(*s, S::Running, "{vm} migrated while {s:?}");
+                *s = S::Migrating;
+            }
+            AuditKind::MigrationFinished { vm, .. } => {
+                let s = state
+                    .get_mut(&vm.raw())
+                    .expect("finished unknown migration");
+                assert_eq!(*s, S::Migrating, "{vm} finished migration while {s:?}");
+                *s = S::Running;
+            }
+            AuditKind::JobCompleted { vm, satisfaction } => {
+                assert!((0.0..=100.0).contains(satisfaction));
+                let s = state.get_mut(&vm.raw()).expect("completed before arrival");
+                assert_eq!(*s, S::Running, "{vm} completed while {s:?}");
+                *s = S::Done;
+            }
+            _ => {}
+        }
+    }
+    // Every tracked VM either finished or is mid-flight at the horizon.
+    for (vm, s) in &state {
+        assert!(
+            matches!(
+                s,
+                S::Done | S::Queued | S::Creating | S::Running | S::Migrating
+            ),
+            "vm{vm} ended in {s:?}"
+        );
+    }
+}
+
+#[test]
+fn host_power_transitions_alternate() {
+    let (_, audit) = audited_run(7, true);
+    // Per host: PoweringOn must be followed (eventually) by On before the
+    // next PoweringOn; PoweringOff only after being On.
+    let mut on: HashMap<u32, bool> = HashMap::new(); // currently online?
+    let mut booting: HashMap<u32, bool> = HashMap::new();
+    for e in &audit {
+        match &e.kind {
+            AuditKind::HostPoweringOn { host } => {
+                assert!(
+                    !on.get(&host.raw()).copied().unwrap_or(false),
+                    "{host} booted while on"
+                );
+                assert!(
+                    !booting.get(&host.raw()).copied().unwrap_or(false),
+                    "{host} booted while booting"
+                );
+                booting.insert(host.raw(), true);
+            }
+            AuditKind::HostOn { host } => {
+                assert!(
+                    booting.remove(&host.raw()).unwrap_or(false)
+                        || !on.get(&host.raw()).copied().unwrap_or(false),
+                    "{host} came up without booting"
+                );
+                on.insert(host.raw(), true);
+            }
+            AuditKind::HostPoweringOff { host } => {
+                assert!(
+                    on.insert(host.raw(), false).unwrap_or(false)
+                        // initial_on hosts were never logged as booting
+                        || !booting.contains_key(&host.raw()),
+                    "{host} shut down while off"
+                );
+                on.insert(host.raw(), false);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn audit_disabled_by_default_costs_nothing() {
+    let hosts = eards::datacenter::small_datacenter(4, HostClass::Medium);
+    let trace = eards::workload::generate(
+        &SynthConfig {
+            span: SimDuration::from_hours(2),
+            ..SynthConfig::grid5000_week()
+        },
+        9,
+    );
+    let (report, audit) = Runner::new(
+        hosts,
+        trace,
+        Box::new(BackfillingPolicy::new()),
+        RunConfig::default(),
+    )
+    .run_audited();
+    assert!(audit.is_empty(), "audit must be opt-in");
+    assert!(report.jobs_total > 0);
+}

@@ -1,0 +1,134 @@
+//! Cross-crate integration: full simulations through the public facade,
+//! one per policy family, over a small datacenter.
+
+use eards::prelude::*;
+
+fn short_trace(seed: u64) -> Trace {
+    eards::workload::generate(
+        &SynthConfig {
+            span: SimDuration::from_hours(8),
+            ..SynthConfig::grid5000_week()
+        },
+        seed,
+    )
+}
+
+fn policies() -> Vec<(&'static str, Box<dyn Policy>)> {
+    vec![
+        ("RD", Box::new(RandomPolicy::new(5))),
+        ("RR", Box::new(RoundRobinPolicy::new())),
+        ("BF", Box::new(BackfillingPolicy::new())),
+        ("DBF", Box::new(DynamicBackfillingPolicy::new())),
+        ("SB0", Box::new(ScoreScheduler::new(ScoreConfig::sb0()))),
+        ("SB", Box::new(ScoreScheduler::new(ScoreConfig::sb()))),
+        ("SB+ext", Box::new(ScoreScheduler::new(ScoreConfig::full()))),
+    ]
+}
+
+#[test]
+fn every_policy_completes_the_workload() {
+    let trace = short_trace(1);
+    for (name, policy) in policies() {
+        let hosts = eards::datacenter::small_datacenter(10, HostClass::Medium);
+        let report = Runner::new(hosts, trace.clone(), policy, RunConfig::default()).run();
+        assert_eq!(
+            report.jobs_total,
+            trace.len() as u64,
+            "{name}: all submissions accounted"
+        );
+        assert_eq!(
+            report.jobs_completed, report.jobs_total,
+            "{name}: an 8-hour workload must drain within the 2-day limit"
+        );
+        assert!(report.energy_kwh > 0.0, "{name}: energy recorded");
+        assert!(
+            (0.0..=100.0).contains(&report.satisfaction_pct),
+            "{name}: S = {}",
+            report.satisfaction_pct
+        );
+        assert!(report.delay_pct >= 0.0, "{name}");
+        assert!(
+            report.avg_online_nodes >= report.avg_working_nodes,
+            "{name}: can't work on more nodes than are online"
+        );
+        assert!(
+            report.creations >= report.jobs_completed,
+            "{name}: every completed job was created at least once"
+        );
+    }
+}
+
+#[test]
+fn non_migrating_policies_never_migrate() {
+    let trace = short_trace(2);
+    for (name, policy) in policies() {
+        if policy.uses_migration() {
+            continue;
+        }
+        let hosts = eards::datacenter::small_datacenter(8, HostClass::Fast);
+        let report = Runner::new(hosts, trace.clone(), policy, RunConfig::default()).run();
+        assert_eq!(report.migrations, 0, "{name} must not migrate");
+    }
+}
+
+#[test]
+fn consolidating_policies_use_fewer_nodes_than_spreading_ones() {
+    let trace = short_trace(3);
+    let run = |policy: Box<dyn Policy>| -> RunReport {
+        let hosts = eards::datacenter::small_datacenter(16, HostClass::Medium);
+        Runner::new(hosts, trace.clone(), policy, RunConfig::default()).run()
+    };
+    let rr = run(Box::new(RoundRobinPolicy::new()));
+    let bf = run(Box::new(BackfillingPolicy::new()));
+    let sb = run(Box::new(ScoreScheduler::new(ScoreConfig::sb())));
+    assert!(
+        bf.avg_working_nodes < rr.avg_working_nodes,
+        "BF {} vs RR {}",
+        bf.avg_working_nodes,
+        rr.avg_working_nodes
+    );
+    assert!(
+        sb.energy_kwh < rr.energy_kwh,
+        "SB {} vs RR {}",
+        sb.energy_kwh,
+        rr.energy_kwh
+    );
+}
+
+#[test]
+fn tighter_lambdas_save_energy() {
+    let trace = short_trace(4);
+    let run = |cfg: RunConfig| -> RunReport {
+        let hosts = eards::datacenter::small_datacenter(16, HostClass::Medium);
+        Runner::new(
+            hosts,
+            trace.clone(),
+            Box::new(ScoreScheduler::new(ScoreConfig::sb())),
+            cfg,
+        )
+        .run()
+    };
+    let gentle = run(RunConfig::default().with_lambdas(10, 90));
+    let aggressive = run(RunConfig::default().with_lambdas(50, 90));
+    assert!(
+        aggressive.energy_kwh < gentle.energy_kwh,
+        "aggressive {} vs gentle {}",
+        aggressive.energy_kwh,
+        gentle.energy_kwh
+    );
+}
+
+#[test]
+fn empty_trace_is_a_noop_run() {
+    let hosts = eards::datacenter::small_datacenter(4, HostClass::Medium);
+    let report = Runner::new(
+        hosts,
+        Trace::new(vec![]),
+        Box::new(BackfillingPolicy::new()),
+        RunConfig::default(),
+    )
+    .run();
+    assert_eq!(report.jobs_total, 0);
+    assert_eq!(report.migrations, 0);
+    assert_eq!(report.creations, 0);
+}

@@ -1,0 +1,88 @@
+//! Whole-system property tests: random short workloads through the full
+//! driver must always produce consistent reports, for every policy.
+
+use proptest::prelude::*;
+
+use eards::prelude::*;
+
+fn run_policy(policy_idx: u8, trace_seed: u64, driver_seed: u64, hosts: u32) -> RunReport {
+    let policy: Box<dyn Policy> = match policy_idx % 5 {
+        0 => Box::new(RandomPolicy::new(driver_seed)),
+        1 => Box::new(RoundRobinPolicy::new()),
+        2 => Box::new(BackfillingPolicy::new()),
+        3 => Box::new(DynamicBackfillingPolicy::new()),
+        _ => Box::new(ScoreScheduler::new(ScoreConfig::sb())),
+    };
+    let trace = eards::workload::generate(
+        &SynthConfig {
+            span: SimDuration::from_hours(3),
+            events_per_hour: 8.0,
+            ..SynthConfig::grid5000_week()
+        },
+        trace_seed,
+    );
+    let cfg = RunConfig {
+        seed: driver_seed,
+        initial_on: 3.min(hosts as usize),
+        ..RunConfig::default()
+    };
+    let specs = eards::datacenter::small_datacenter(hosts, HostClass::Medium);
+    Runner::new(specs, trace, policy, cfg).run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Report sanity under any (policy, workload, seed, datacenter size).
+    #[test]
+    fn reports_are_internally_consistent(
+        policy_idx in any::<u8>(),
+        trace_seed in any::<u64>(),
+        driver_seed in any::<u64>(),
+        hosts in 2u32..12,
+    ) {
+        let r = run_policy(policy_idx, trace_seed, driver_seed, hosts);
+        prop_assert!(r.jobs_completed <= r.jobs_total);
+        prop_assert_eq!(r.jobs.len() as u64, r.jobs_total);
+        prop_assert!((0.0..=100.0).contains(&r.satisfaction_pct));
+        prop_assert!(r.delay_pct >= 0.0);
+        prop_assert!(r.energy_kwh >= 0.0);
+        prop_assert!(r.avg_working_nodes >= 0.0);
+        prop_assert!(r.avg_working_nodes <= r.avg_online_nodes + 1e-9);
+        prop_assert!(r.avg_online_nodes <= f64::from(hosts) + 1e-9);
+        prop_assert!(r.cpu_hours >= 0.0);
+        // Every creation corresponds to a real VM event; each job needs at
+        // least one creation to complete (failures may add recreations).
+        prop_assert!(r.creations >= r.jobs_completed);
+        // Per-job records agree with the aggregate.
+        let done = r.jobs.iter().filter(|j| j.completed.is_some()).count() as u64;
+        prop_assert_eq!(done, r.jobs_completed);
+        for j in &r.jobs {
+            prop_assert!((0.0..=100.0).contains(&j.satisfaction));
+            if let Some(c) = j.completed {
+                prop_assert!(c >= j.submitted);
+            } else {
+                prop_assert_eq!(j.satisfaction, 0.0);
+            }
+        }
+    }
+
+    /// Energy is never below the idle floor of the minimum online set for
+    /// the measured span, and never above every-node-flat-out.
+    #[test]
+    fn energy_is_physically_plausible(
+        policy_idx in any::<u8>(),
+        trace_seed in any::<u64>(),
+        hosts in 2u32..10,
+    ) {
+        let r = run_policy(policy_idx, trace_seed, 7, hosts);
+        // Upper bound: all nodes at max draw for the whole span.
+        // (span is at most 3 h of arrivals + drain of the last jobs; use a
+        // generous 60 h ceiling implied by the drain limit of 2 days.)
+        let max_kwh = f64::from(hosts) * 304.0 * 60.0 / 1000.0;
+        prop_assert!(r.energy_kwh <= max_kwh, "energy {} impossibly high", r.energy_kwh);
+        if r.jobs_total > 0 {
+            prop_assert!(r.energy_kwh > 0.0);
+        }
+    }
+}
