@@ -4,67 +4,26 @@
 //! times".
 //!
 //! Benchmarks the full scheduling round (matrix build + solve) over
-//! increasing datacenter sizes, over the iteration cap, and over the
-//! penalty sets.
+//! increasing datacenter sizes, over the iteration cap, over the penalty
+//! sets, and — the `cold_vs_incremental` group — the full-rescan
+//! reference solver against the incremental score-matrix engine (cold
+//! allocations and warm recycled [`EngineBuffers`]).
+//!
+//! Besides the per-benchmark stdout lines, the run writes every mean to
+//! `BENCH_solver.json` at the workspace root: a machine-readable baseline
+//! future PRs diff against for a perf trajectory.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use eards_core::{solve, Eval, ScoreConfig};
-use eards_model::{Cluster, Cpu, HostClass, HostId, HostSpec, Job, JobId, Mem, PowerState, VmId};
-use eards_sim::{SimDuration, SimRng, SimTime};
-
-/// Builds a cluster with `hosts` nodes, `running` placed VMs and `queued`
-/// waiting VMs.
-fn build(hosts: u32, running: u64, queued: u64) -> (Cluster, Vec<VmId>) {
-    let mut rng = SimRng::seed_from_u64(1);
-    let specs = (0..hosts)
-        .map(|i| HostSpec::standard(HostId(i), HostClass::Medium))
-        .collect();
-    let mut cluster = Cluster::new(specs, PowerState::On);
-    let mut cols = Vec::new();
-    let t0 = SimTime::ZERO;
-    let t1 = SimTime::from_secs(40);
-    for j in 0..running {
-        let cpu = Cpu(100 * (1 + rng.index(2) as u32));
-        let vm = cluster.submit_job(Job::new(
-            JobId(j),
-            t0,
-            cpu,
-            Mem::gib(1),
-            SimDuration::from_secs(7200),
-            1.5,
-        ));
-        let mut placed = false;
-        for k in 0..hosts {
-            let h = HostId((j as u32 + k) % hosts);
-            if cluster.can_place(h, vm) {
-                cluster.start_creation(vm, h, t0, t1);
-                cluster.finish_creation(vm, t1);
-                placed = true;
-                break;
-            }
-        }
-        if placed {
-            cols.push(vm);
-        }
-    }
-    for j in 0..queued {
-        let vm = cluster.submit_job(Job::new(
-            JobId(running + j),
-            t1,
-            Cpu(100),
-            Mem::gib(1),
-            SimDuration::from_secs(3600),
-            1.5,
-        ));
-        cols.push(vm);
-    }
-    (cluster, cols)
-}
+use criterion::{BenchmarkId, Criterion};
+use eards_bench::common::solver_case;
+use eards_core::{
+    solve, solve_matrix, solve_reference, EngineBuffers, Eval, ScoreConfig, ScoreMatrix,
+};
+use eards_sim::SimTime;
 
 fn bench_matrix_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("solver/hosts_x_vms");
     for &(hosts, vms) in &[(25u32, 20u64), (50, 40), (100, 80), (200, 160), (400, 320)] {
-        let (cluster, cols) = build(hosts, vms / 2, vms / 2);
+        let (cluster, cols) = solver_case(hosts, vms / 2, vms / 2);
         let cfg = ScoreConfig::sb();
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{hosts}h_{vms}v")),
@@ -82,7 +41,7 @@ fn bench_matrix_scaling(c: &mut Criterion) {
 
 fn bench_iteration_cap(c: &mut Criterion) {
     let mut group = c.benchmark_group("solver/max_moves");
-    let (cluster, cols) = build(100, 40, 40);
+    let (cluster, cols) = solver_case(100, 40, 40);
     for &cap in &[4usize, 16, 64, 256] {
         let cfg = ScoreConfig::sb();
         group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
@@ -97,7 +56,7 @@ fn bench_iteration_cap(c: &mut Criterion) {
 
 fn bench_penalty_sets(c: &mut Criterion) {
     let mut group = c.benchmark_group("solver/penalty_sets");
-    let (cluster, cols) = build(100, 40, 40);
+    let (cluster, cols) = solver_case(100, 40, 40);
     for (name, cfg) in [
         ("sb0", ScoreConfig::sb0()),
         ("sb2", ScoreConfig::sb2()),
@@ -113,10 +72,101 @@ fn bench_penalty_sets(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_matrix_scaling,
-    bench_iteration_cap,
-    bench_penalty_sets
-);
-criterion_main!(benches);
+/// The acceptance case of the incremental-engine refactor: one 100-host /
+/// 200-VM hill-climbing round, full-rescan reference vs the cached
+/// engine. `reference` and `incremental` must stay ≥ 3× apart (the
+/// `run_all` solver-timing section shape-checks this; here the two means
+/// land side by side in `BENCH_solver.json`).
+fn bench_cold_vs_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/cold_vs_incremental");
+    let (cluster, cols) = solver_case(100, 100, 100);
+    let cfg = ScoreConfig::sb();
+    let cap = 256usize;
+
+    group.bench_with_input(
+        BenchmarkId::from_parameter("reference_100h_200v"),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                let mut eval = Eval::new(&cluster, &cfg, SimTime::from_secs(100), cols.clone());
+                solve_reference(&mut eval, cap)
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("incremental_100h_200v"),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                let mut eval = Eval::new(&cluster, &cfg, SimTime::from_secs(100), cols.clone());
+                solve(&mut eval, cap)
+            })
+        },
+    );
+    // The scheduler's steady state: engine storage recycled across rounds.
+    let mut buf = EngineBuffers::new();
+    group.bench_with_input(
+        BenchmarkId::from_parameter("incremental_warm_100h_200v"),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                let mut eval = Eval::new_in(
+                    &cluster,
+                    &cfg,
+                    SimTime::from_secs(100),
+                    cols.clone(),
+                    &mut buf,
+                );
+                let mut matrix = ScoreMatrix::new_in(&mut eval, &mut buf);
+                let sol = solve_matrix(&mut matrix, cap);
+                matrix.recycle(&mut buf);
+                eval.recycle(&mut buf);
+                sol
+            })
+        },
+    );
+    group.finish();
+}
+
+/// Writes all recorded means as `BENCH_solver.json` at the workspace
+/// root, including the derived reference/incremental speedup.
+fn write_baseline(c: &Criterion) {
+    let mut json = String::from(
+        "{\n  \"bench\": \"solver\",\n  \"unit\": \"mean_seconds_per_iter\",\n  \"results\": {\n",
+    );
+    let results = c.results();
+    for (i, (label, mean)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        json.push_str(&format!("    \"{label}\": {mean:e}{comma}\n"));
+    }
+    json.push_str("  }");
+    let find = |suffix: &str| {
+        results
+            .iter()
+            .find(|(label, _)| label.ends_with(suffix))
+            .map(|&(_, mean)| mean)
+    };
+    if let (Some(reference), Some(incremental)) =
+        (find("/reference_100h_200v"), find("/incremental_100h_200v"))
+    {
+        json.push_str(&format!(
+            ",\n  \"speedup_100h_200v\": {:.2}",
+            reference / incremental
+        ));
+    }
+    json.push_str("\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_matrix_scaling(&mut criterion);
+    bench_iteration_cap(&mut criterion);
+    bench_penalty_sets(&mut criterion);
+    bench_cold_vs_incremental(&mut criterion);
+    write_baseline(&criterion);
+}

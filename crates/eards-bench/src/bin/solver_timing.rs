@@ -1,0 +1,5 @@
+//! Times the incremental score-matrix engine against the full-rescan
+//! reference solver.
+fn main() {
+    eards_bench::emit(&eards_bench::exp_solver_timing::run());
+}

@@ -10,8 +10,11 @@ use std::path::Path;
 
 use eards_core::{ScoreConfig, ScoreScheduler};
 use eards_metrics::Table;
-use eards_model::Policy;
+use eards_model::{
+    Cluster, Cpu, HostClass, HostId, HostSpec, Job, JobId, Mem, Policy, PowerState, VmId,
+};
 use eards_policies::{BackfillingPolicy, DynamicBackfillingPolicy, RandomPolicy, RoundRobinPolicy};
+use eards_sim::{SimDuration, SimRng, SimTime};
 use eards_workload::{generate, SynthConfig, Trace};
 
 /// Seed of the canonical week-long trace used by all table experiments
@@ -103,6 +106,57 @@ impl ExperimentResult {
         }
         Ok(written)
     }
+}
+
+/// A deterministic solver workload: `hosts` Medium nodes, `running`
+/// placed VMs of mixed 100/200-point sizes and `queued` 100-point VMs.
+/// Shared by the solver microbenches (`benches/solver.rs`) and the
+/// solver-timing experiment so both measure the exact same matrix.
+pub fn solver_case(hosts: u32, running: u64, queued: u64) -> (Cluster, Vec<VmId>) {
+    let mut rng = SimRng::seed_from_u64(1);
+    let specs = (0..hosts)
+        .map(|i| HostSpec::standard(HostId(i), HostClass::Medium))
+        .collect();
+    let mut cluster = Cluster::new(specs, PowerState::On);
+    let mut cols = Vec::new();
+    let t0 = SimTime::ZERO;
+    let t1 = SimTime::from_secs(40);
+    for j in 0..running {
+        let cpu = Cpu(100 * (1 + rng.index(2) as u32));
+        let vm = cluster.submit_job(Job::new(
+            JobId(j),
+            t0,
+            cpu,
+            Mem::gib(1),
+            SimDuration::from_secs(7200),
+            1.5,
+        ));
+        let mut placed = false;
+        for k in 0..hosts {
+            let h = HostId((j as u32 + k) % hosts);
+            if cluster.can_place(h, vm) {
+                cluster.start_creation(vm, h, t0, t1);
+                cluster.finish_creation(vm, t1);
+                placed = true;
+                break;
+            }
+        }
+        if placed {
+            cols.push(vm);
+        }
+    }
+    for j in 0..queued {
+        let vm = cluster.submit_job(Job::new(
+            JobId(running + j),
+            t1,
+            Cpu(100),
+            Mem::gib(1),
+            SimDuration::from_secs(3600),
+            1.5,
+        ));
+        cols.push(vm);
+    }
+    (cluster, cols)
 }
 
 /// Prints a result to stdout and writes it (plus artifacts) to

@@ -15,6 +15,7 @@
 //! | [`exp_ablation_reliability`] | extension: failures, checkpointing, `P_fault` |
 //! | [`exp_ablation_sla`] | extension: overload + dynamic SLA enforcement |
 //! | [`exp_ablation_adaptive`] | extension: dynamic λ thresholds (future work of §V-A) |
+//! | [`exp_solver_timing`] | engine: incremental score matrix vs full-rescan reference |
 //!
 //! Binaries under `src/bin/` wrap these one-to-one; `run_all` regenerates
 //! everything and rebuilds `EXPERIMENTS.md`. Criterion microbenches of the
@@ -31,6 +32,7 @@ pub mod exp_economics;
 pub mod exp_fig1;
 pub mod exp_fig23;
 pub mod exp_robustness;
+pub mod exp_solver_timing;
 pub mod exp_table1;
 pub mod exp_table2;
 pub mod exp_table3;

@@ -9,12 +9,49 @@
 //! `Score(h, vm) = P_req + P_res + P_virt + P_conc + P_pwr + P_SLA + P_fault`
 //!
 //! with each term exactly as §III-A defines it.
+//!
+//! To support the incremental engine in [`crate::matrix`], each cell is
+//! split into a *round-static* part ([`CellStatic`]: `P_req` feasibility,
+//! the move-in `P_virt`/`P_conc`, `P_fault` — all functions of the
+//! immutable `&Cluster` snapshot only) and a *dynamic* part
+//! ([`Eval::score_with_static`]: `P_res`, `P_pwr`, `P_SLA` and the
+//! is-it-already-there check, which depend on the hypothetical
+//! `committed`/`vm_count`/`placement` overlay). [`Eval::score`] composes
+//! the two, so cached and from-scratch evaluation share one code path and
+//! one floating-point addition order — scores are bit-identical either way.
 
 use eards_model::{Cluster, HostId, PowerState, Resources, VmId};
 use eards_sim::SimTime;
 
 use crate::config::ScoreConfig;
 use crate::score::Score;
+
+/// The round-static part of one score-matrix cell `(h, v)`.
+///
+/// Everything here depends only on the cluster snapshot, the config and
+/// the round timestamp — not on the hypothetical placement — so it is
+/// computed once per round and reused across every rescore of the cell.
+#[derive(Debug, Clone, Copy)]
+pub struct CellStatic {
+    /// `P_req` plus the power-state precondition: `false` means the cell
+    /// is `∞` regardless of the overlay state.
+    pub(crate) feasible: bool,
+    /// `P_virt + P_conc` as charged when `v` is *not* already on `h`
+    /// (creation/migration cost plus in-flight-operation concurrency).
+    pub(crate) movein: Score,
+    /// `P_fault` ([`Score::ZERO`] when the term is disabled).
+    pub(crate) fault: Score,
+}
+
+impl Default for CellStatic {
+    fn default() -> Self {
+        CellStatic {
+            feasible: false,
+            movein: Score::ZERO,
+            fault: Score::ZERO,
+        }
+    }
+}
 
 /// Score evaluator over the cluster plus a tentative placement of the
 /// matrix VMs.
@@ -38,29 +75,66 @@ impl<'a> Eval<'a> {
     /// Builds an evaluator for the given matrix VMs, starting from their
     /// real placements.
     pub fn new(cluster: &'a Cluster, cfg: &'a ScoreConfig, now: SimTime, vms: Vec<VmId>) -> Self {
+        Self::new_in(
+            cluster,
+            cfg,
+            now,
+            vms,
+            &mut crate::matrix::EngineBuffers::default(),
+        )
+    }
+
+    /// Like [`Eval::new`], but recycling the vectors held in `buf` instead
+    /// of allocating. Pair with [`Eval::recycle`] at the end of the round
+    /// to hand them back.
+    pub fn new_in(
+        cluster: &'a Cluster,
+        cfg: &'a ScoreConfig,
+        now: SimTime,
+        vms: Vec<VmId>,
+        buf: &mut crate::matrix::EngineBuffers,
+    ) -> Self {
         let m = cluster.num_hosts();
-        let committed: Vec<Resources> = (0..m)
-            .map(|i| cluster.committed(HostId(i as u32)))
-            .collect();
-        let vm_count: Vec<usize> = cluster
-            .hosts()
-            .iter()
-            .map(|h| h.resident.len() + h.incoming.len())
-            .collect();
-        let original: Vec<Option<usize>> = vms
-            .iter()
-            .map(|&v| cluster.vm(v).host.map(|h| h.raw() as usize))
-            .collect();
+        let mut committed = std::mem::take(&mut buf.committed);
+        committed.clear();
+        committed.extend((0..m).map(|i| cluster.committed(HostId(i as u32))));
+        let mut vm_count = std::mem::take(&mut buf.vm_count);
+        vm_count.clear();
+        vm_count.extend(
+            cluster
+                .hosts()
+                .iter()
+                .map(|h| h.resident.len() + h.incoming.len()),
+        );
+        let mut original = std::mem::take(&mut buf.original);
+        original.clear();
+        original.extend(
+            vms.iter()
+                .map(|&v| cluster.vm(v).host.map(|h| h.raw() as usize)),
+        );
+        let mut placement = std::mem::take(&mut buf.placement);
+        placement.clear();
+        placement.extend_from_slice(&original);
         Eval {
             cluster,
             cfg,
             now,
-            placement: original.clone(),
+            placement,
             original,
             vms,
             committed,
             vm_count,
         }
+    }
+
+    /// Hands the evaluator's allocations (including the VM column vector)
+    /// back for reuse in a later round.
+    pub fn recycle(self, buf: &mut crate::matrix::EngineBuffers) {
+        buf.vms = self.vms;
+        buf.original = self.original;
+        buf.placement = self.placement;
+        buf.committed = self.committed;
+        buf.vm_count = self.vm_count;
     }
 
     /// The configured migration hysteresis (see
@@ -107,6 +181,29 @@ impl<'a> Eval<'a> {
     pub fn apply_move(&mut self, v: usize, h: usize) {
         let req = self.cluster.vm(self.vms[v]).requested;
         if let Some(old) = self.placement[v] {
+            // The overlay is built from the cluster's own committed totals,
+            // so removing a VM from its hypothetical host can never underflow
+            // them; the `saturating_sub` below is belt-and-braces only. A
+            // debug-build trip here means the overlay diverged from the
+            // bookkeeping invariant (e.g. a double-remove).
+            debug_assert!(
+                self.vm_count[old] > 0,
+                "apply_move(v={v}, h={h}): host {old} has no VMs to remove"
+            );
+            debug_assert!(
+                req.cpu <= self.committed[old].cpu,
+                "apply_move(v={v}, h={h}): cpu underflow on host {old} \
+                 (removing {:?} from {:?})",
+                req.cpu,
+                self.committed[old].cpu,
+            );
+            debug_assert!(
+                req.mem <= self.committed[old].mem,
+                "apply_move(v={v}, h={h}): mem underflow on host {old} \
+                 (removing {:?} from {:?})",
+                req.mem,
+                self.committed[old].mem,
+            );
             self.committed[old] = Resources::new(
                 self.committed[old].cpu.saturating_sub(req.cpu),
                 eards_model::Mem(self.committed[old].mem.mib().saturating_sub(req.mem.mib())),
@@ -136,13 +233,57 @@ impl<'a> Eval<'a> {
 
     /// The full score of hosting matrix VM `v` on host `h` under the
     /// current hypothesis.
+    ///
+    /// Equivalent to [`Eval::static_cell`] followed by
+    /// [`Eval::score_with_static`]; the incremental engine caches the
+    /// static half and re-runs only the dynamic half.
     pub fn score(&self, h: usize, v: usize) -> Score {
+        self.score_with_static(h, v, &self.static_cell(h, v))
+    }
+
+    /// Computes the round-static part of cell `(h, v)`: `P_req`
+    /// feasibility, the move-in `P_virt + P_conc`, and `P_fault`. None of
+    /// these depend on the hypothetical placement, so the result stays
+    /// valid across every [`Eval::apply_move`] of the round.
+    pub fn static_cell(&self, h: usize, v: usize) -> CellStatic {
         let host = self.cluster.host(HostId(h as u32));
         let vm = self.cluster.vm(self.vms[v]);
 
         // P_req (§III-A.1) — plus the basic physical precondition that the
         // host is actually up (an off host "cannot fulfil" anything).
-        if host.power != PowerState::On || !host.spec.satisfies(&vm.job.requirements) {
+        let feasible = host.power == PowerState::On && host.spec.satisfies(&vm.job.requirements);
+
+        let mut movein = Score::ZERO;
+        // P_virt (§III-A.3).
+        if self.cfg.virt_penalty {
+            movein += self.p_virt_movein(h, v);
+        }
+        // P_conc (§III-A.3, concurrency).
+        if self.cfg.conc_penalty {
+            movein += self.p_conc_movein(h);
+        }
+
+        // P_fault (§III-A.6, extension).
+        let fault = if self.cfg.fault_penalty {
+            let rel = host.spec.reliability;
+            Score::finite(((1.0 - rel) - vm.job.fault_tolerance) * self.cfg.c_fail)
+        } else {
+            Score::ZERO
+        };
+
+        CellStatic {
+            feasible,
+            movein,
+            fault,
+        }
+    }
+
+    /// Computes the dynamic part of cell `(h, v)` on top of a cached
+    /// [`CellStatic`], preserving the exact floating-point addition order
+    /// of the monolithic formula (so cached and fresh scores are
+    /// bit-identical).
+    pub fn score_with_static(&self, h: usize, v: usize, cell: &CellStatic) -> Score {
+        if !cell.feasible {
             return Score::INFINITE;
         }
 
@@ -152,17 +293,13 @@ impl<'a> Eval<'a> {
             return Score::INFINITE;
         }
 
-        let mut total = Score::ZERO;
-
-        // P_virt (§III-A.3).
-        if self.cfg.virt_penalty {
-            total += self.p_virt(h, v);
-        }
-
-        // P_conc (§III-A.3, concurrency).
-        if self.cfg.conc_penalty {
-            total += self.p_conc(h, v);
-        }
+        // P_virt and P_conc are both ZERO for the host the VM already
+        // (hypothetically) sits on, so the placed branch starts from ZERO.
+        let mut total = if self.placement[v] == Some(h) {
+            Score::ZERO
+        } else {
+            cell.movein
+        };
 
         // P_pwr (§III-A.4) — always on: it is what makes the policy
         // consolidate at all (present in every SB variant).
@@ -179,20 +316,18 @@ impl<'a> Eval<'a> {
 
         // P_fault (§III-A.6, extension).
         if self.cfg.fault_penalty {
-            let rel = host.spec.reliability;
-            total += Score::finite(((1.0 - rel) - vm.job.fault_tolerance) * self.cfg.c_fail);
+            total += cell.fault;
         }
 
         total
     }
 
-    /// Creation / migration overhead penalty. VMs with an operation already
-    /// in flight never appear as matrix columns, so the `∞` branch of the
+    /// Creation / migration overhead penalty as charged when `v` is not
+    /// already on `h` (the resident-host case is handled by the caller;
+    /// see [`Eval::score_with_static`]). VMs with an operation already in
+    /// flight never appear as matrix columns, so the `∞` branch of the
     /// paper's `P_virt` is realized by exclusion rather than by a score.
-    fn p_virt(&self, h: usize, v: usize) -> Score {
-        if self.placement[v] == Some(h) {
-            return Score::ZERO;
-        }
+    fn p_virt_movein(&self, h: usize, v: usize) -> Score {
         let host = self.cluster.host(HostId(h as u32));
         let vm = self.cluster.vm(self.vms[v]);
         if self.original[v].is_none() {
@@ -212,10 +347,7 @@ impl<'a> Eval<'a> {
 
     /// Concurrency penalty: the summed cost of operations already running
     /// on the host, charged to VMs that are not yet there (§III-A.3).
-    fn p_conc(&self, h: usize, v: usize) -> Score {
-        if self.placement[v] == Some(h) {
-            return Score::ZERO;
-        }
+    fn p_conc_movein(&self, h: usize) -> Score {
         let host = self.cluster.host(HostId(h as u32));
         let total: f64 = host.ops.iter().map(|op| op.cost().as_secs_f64()).sum();
         Score::finite(total)

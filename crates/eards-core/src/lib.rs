@@ -16,6 +16,12 @@
 //! then hill-climbs the `(M+1)×N` matrix (Algorithm 1) applying the most
 //! beneficial move until convergence or an iteration cap.
 //!
+//! The hill climb runs on an *incremental* engine ([`ScoreMatrix`]): cells
+//! are cached, a move invalidates exactly the two affected host rows, and
+//! per-column argmins are maintained instead of rescanned — see
+//! [`matrix`]'s module docs. [`solve_reference`] keeps the original
+//! full-rescan algorithm as a differential-testing oracle.
+//!
 //! [`ScoreScheduler`] implements [`eards_model::Policy`] and is
 //! instantiated via [`ScoreConfig`] as the paper's SB0 / SB1 / SB2 / SB
 //! variants.
@@ -25,13 +31,17 @@
 mod config;
 mod eval;
 mod explain;
+pub mod matrix;
 mod scheduler;
 mod score;
 mod solver;
 
 pub use config::ScoreConfig;
-pub use eval::Eval;
-pub use explain::{render_delta_matrix, render_matrix};
+pub use eval::{CellStatic, Eval};
+pub use explain::{
+    render_delta_matrix, render_delta_matrix_cached, render_matrix, render_matrix_cached,
+};
+pub use matrix::{EngineBuffers, ScoreMatrix};
 pub use scheduler::{row_score, ScoreScheduler};
 pub use score::Score;
-pub use solver::{solve, Move, Solution};
+pub use solver::{solve, solve_matrix, solve_reference, Move, Solution};

@@ -1,0 +1,478 @@
+//! The incremental score-matrix engine.
+//!
+//! The reference solver re-scores the entire `M×N` matrix on every hill-
+//! climbing sweep, making a round `O(M·N·S)` for `S` applied moves.
+//! [`ScoreMatrix`] instead *caches* every cell and exploits the key
+//! structural fact of the score function: applying a move `⟨v → h⟩` only
+//! changes the overlay state (`committed`, `vm_count`, `placement[v]`) of
+//! the VM's old host row and its new host row `h`. Every other cell —
+//! including the rest of column `v` — is provably unchanged:
+//!
+//! * rows `r ∉ {old, h}` keep their `committed[r]`/`vm_count[r]`, and
+//! * for column `v` itself, the `placement[v] == Some(r)` residency checks
+//!   are `false` both before and after the move on those rows, so the
+//!   move-in terms and the occupation maths are untouched.
+//!
+//! So `apply_move` dirties exactly two rows, and a sweep only pays to
+//! rescore `2·N` cells plus a cheap per-column argmin maintenance step
+//! instead of `M·N` fresh score evaluations.
+//!
+//! ## Per-column argmin maintenance
+//!
+//! The solver's candidate ordering key is `(Δ, to, column, row)` (see
+//! [`crate::solver`]). Within one column the current cost `from` is a
+//! constant, so ordering candidates by `(Δ, to)` is the same as ordering
+//! them by `to` alone — which means the per-column best cell
+//! ([`ScoreMatrix`]'s `col_best`) is *independent of the column's current
+//! placement cost* and can be maintained incrementally:
+//!
+//! * if the cached best of a column sits on a changed row, the column is
+//!   rescanned in full (`O(M)`) — this also covers the moved column
+//!   itself, because its new placement row is always one of the two
+//!   dirtied rows;
+//! * otherwise the cached best is still valid and merely has to be
+//!   *challenged* by the (at most two) changed rows — `O(#dirty)`.
+//!
+//! The migration-gain bar is applied to the column best only: the best
+//! minimizes `Δ` within the column, so if it fails the bar every other
+//! cell of the column fails it too.
+//!
+//! ## Bit-identical scores
+//!
+//! Cells are computed as [`Eval::static_cell`] (cached once per round)
+//! plus [`Eval::score_with_static`] (re-run on rescore). [`Eval::score`]
+//! composes the exact same two halves in the same floating-point order,
+//! so a cached cell is always bit-identical to a from-scratch recompute —
+//! the differential oracle in `tests/matrix_oracle.rs` asserts this for
+//! arbitrary move sequences.
+//!
+//! Rows are rescored *lazily*: nothing is computed until a cell, a column
+//! best, or a row aggregate is actually read. Power-off ranking exploits
+//! this by touching only its candidate rows.
+
+use eards_model::{Resources, VmId};
+
+use crate::eval::{CellStatic, Eval};
+use crate::score::Score;
+
+/// Reusable allocations for [`Eval`] and [`ScoreMatrix`].
+///
+/// One scheduling round needs `O(M·N)` cell storage plus several `O(M)` /
+/// `O(N)` side tables; a long simulation runs thousands of rounds. The
+/// buffers outlive the per-round `&Cluster` borrow that [`Eval`] is tied
+/// to, so [`ScoreScheduler`](crate::ScoreScheduler) keeps one
+/// `EngineBuffers` alive across rounds and the engine recycles every
+/// vector through it instead of reallocating.
+#[derive(Debug, Default, Clone)]
+pub struct EngineBuffers {
+    // Eval state (see `Eval::new_in` / `Eval::recycle`).
+    pub(crate) vms: Vec<VmId>,
+    pub(crate) original: Vec<Option<usize>>,
+    pub(crate) placement: Vec<Option<usize>>,
+    pub(crate) committed: Vec<Resources>,
+    pub(crate) vm_count: Vec<usize>,
+    // Matrix state (see `ScoreMatrix::new_in` / `ScoreMatrix::recycle`).
+    pub(crate) statics: Vec<CellStatic>,
+    pub(crate) statics_ready: Vec<bool>,
+    pub(crate) cells: Vec<Score>,
+    pub(crate) row_stale: Vec<bool>,
+    pub(crate) pending: Vec<usize>,
+    pub(crate) pending_flag: Vec<bool>,
+    pub(crate) col_best: Vec<Option<(f64, usize)>>,
+}
+
+impl EngineBuffers {
+    /// Creates an empty buffer set (vectors grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Incrementally-maintained score matrix over an [`Eval`] overlay.
+///
+/// Invariants:
+/// * `!row_stale[r]` ⇒ every `cells[r·n + v]` equals
+///   `eval.score(r, v)` under the current overlay;
+/// * `row_stale[r]` ⇒ `pending_flag[r]` (a stale row is always queued for
+///   the next column sync);
+/// * after [`Self::sync`], `col_best[v]` is `Some((to, h))` for the
+///   feasible cell of column `v` minimizing `(to, h)` over all rows
+///   `h ≠ placement[v]`, or `None` if the column has no feasible cell.
+pub struct ScoreMatrix<'e, 'a> {
+    eval: &'e mut Eval<'a>,
+    /// Columns (matrix VMs).
+    n: usize,
+    /// Rows (hosts).
+    m: usize,
+    /// Round-static cell halves, row-major `m × n`, filled lazily per row.
+    statics: Vec<CellStatic>,
+    statics_ready: Vec<bool>,
+    /// Cached full scores, row-major `m × n`.
+    cells: Vec<Score>,
+    /// Rows whose cached cells no longer match the overlay.
+    row_stale: Vec<bool>,
+    /// Rows changed since the last column sync (deduplicated worklist).
+    pending: Vec<usize>,
+    pending_flag: Vec<bool>,
+    /// Per-column best candidate `(to_value, row)`, excluding the current
+    /// placement row and infeasible cells.
+    col_best: Vec<Option<(f64, usize)>>,
+}
+
+impl<'e, 'a> ScoreMatrix<'e, 'a> {
+    /// Builds a matrix over `eval` with fresh allocations.
+    pub fn new(eval: &'e mut Eval<'a>) -> Self {
+        Self::new_in(eval, &mut EngineBuffers::default())
+    }
+
+    /// Builds a matrix over `eval`, recycling the vectors in `buf`.
+    ///
+    /// All rows start stale and pending: nothing is scored until read
+    /// (see the module docs on laziness).
+    pub fn new_in(eval: &'e mut Eval<'a>, buf: &mut EngineBuffers) -> Self {
+        let m = eval.num_hosts();
+        let n = eval.num_vms();
+
+        let mut statics = std::mem::take(&mut buf.statics);
+        statics.clear();
+        statics.resize(m * n, CellStatic::default());
+        let mut statics_ready = std::mem::take(&mut buf.statics_ready);
+        statics_ready.clear();
+        statics_ready.resize(m, false);
+        let mut cells = std::mem::take(&mut buf.cells);
+        cells.clear();
+        cells.resize(m * n, Score::INFINITE);
+        let mut row_stale = std::mem::take(&mut buf.row_stale);
+        row_stale.clear();
+        row_stale.resize(m, true);
+        let mut pending = std::mem::take(&mut buf.pending);
+        pending.clear();
+        pending.extend(0..m);
+        let mut pending_flag = std::mem::take(&mut buf.pending_flag);
+        pending_flag.clear();
+        pending_flag.resize(m, true);
+        let mut col_best = std::mem::take(&mut buf.col_best);
+        col_best.clear();
+        col_best.resize(n, None);
+
+        ScoreMatrix {
+            eval,
+            n,
+            m,
+            statics,
+            statics_ready,
+            cells,
+            row_stale,
+            pending,
+            pending_flag,
+            col_best,
+        }
+    }
+
+    /// Hands the matrix's allocations back for reuse in a later round.
+    pub fn recycle(self, buf: &mut EngineBuffers) {
+        buf.statics = self.statics;
+        buf.statics_ready = self.statics_ready;
+        buf.cells = self.cells;
+        buf.row_stale = self.row_stale;
+        buf.pending = self.pending;
+        buf.pending_flag = self.pending_flag;
+        buf.col_best = self.col_best;
+    }
+
+    /// Number of host rows.
+    pub fn num_hosts(&self) -> usize {
+        self.m
+    }
+
+    /// Number of VM columns.
+    pub fn num_vms(&self) -> usize {
+        self.n
+    }
+
+    /// The underlying evaluator (read-only: all overlay mutation must go
+    /// through [`Self::apply_move`] so invalidation stays sound).
+    pub fn eval(&self) -> &Eval<'a> {
+        self.eval
+    }
+
+    #[inline]
+    fn idx(&self, h: usize, v: usize) -> usize {
+        h * self.n + v
+    }
+
+    /// Rescores row `r` if its cached cells are stale (computing its
+    /// static halves on first touch).
+    fn ensure_row(&mut self, r: usize) {
+        if !self.row_stale[r] {
+            return;
+        }
+        if !self.statics_ready[r] {
+            for v in 0..self.n {
+                self.statics[r * self.n + v] = self.eval.static_cell(r, v);
+            }
+            self.statics_ready[r] = true;
+        }
+        for v in 0..self.n {
+            let idx = r * self.n + v;
+            self.cells[idx] = self.eval.score_with_static(r, v, &self.statics[idx]);
+        }
+        self.row_stale[r] = false;
+    }
+
+    /// Marks row `r` changed: its cells need a rescore and the per-column
+    /// bests need to account for it at the next sync.
+    fn mark_row_changed(&mut self, r: usize) {
+        self.row_stale[r] = true;
+        if !self.pending_flag[r] {
+            self.pending_flag[r] = true;
+            self.pending.push(r);
+        }
+    }
+
+    /// Full `O(M)` rescan of column `v`'s best candidate. Requires all
+    /// rows clean.
+    fn recompute_col(&self, v: usize, placement: Option<usize>) -> Option<(f64, usize)> {
+        let mut cur: Option<(f64, usize)> = None;
+        for r in 0..self.m {
+            if placement == Some(r) {
+                continue;
+            }
+            let s = self.cells[r * self.n + v];
+            if s.is_infinite() {
+                continue;
+            }
+            let cand = (s.value(), r);
+            if cur.is_none_or(|b| cand < b) {
+                cur = Some(cand);
+            }
+        }
+        cur
+    }
+
+    /// Brings every stale row and every column best up to date.
+    fn sync(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending);
+        for &r in &pending {
+            self.ensure_row(r);
+        }
+        for v in 0..self.n {
+            let placement = self.eval.placement_of(v);
+            // A cached best on a changed row may have gone worse (or
+            // become this column's placement) — rescan. The moved column
+            // always lands here: its new placement row is pending.
+            let rescan = match self.col_best[v] {
+                Some((_, r)) => self.pending_flag[r],
+                None => false,
+            };
+            if rescan {
+                self.col_best[v] = self.recompute_col(v, placement);
+            } else {
+                // The cached best (if any) sits on an unchanged row and
+                // is still valid; challenge it with the changed rows.
+                let mut cur = self.col_best[v];
+                for &r in &pending {
+                    if placement == Some(r) {
+                        continue;
+                    }
+                    let s = self.cells[r * self.n + v];
+                    if s.is_infinite() {
+                        continue;
+                    }
+                    let cand = (s.value(), r);
+                    if cur.is_none_or(|b| cand < b) {
+                        cur = Some(cand);
+                    }
+                }
+                self.col_best[v] = cur;
+            }
+        }
+        for r in pending {
+            self.pending_flag[r] = false;
+        }
+    }
+
+    /// The cached score of cell `(h, v)`, rescoring the row first if it
+    /// is stale. Bit-identical to `self.eval().score(h, v)`.
+    pub fn score(&mut self, h: usize, v: usize) -> Score {
+        self.ensure_row(h);
+        self.cells[self.idx(h, v)]
+    }
+
+    /// Cost of column `v` where it currently (hypothetically) sits;
+    /// infinite on the virtual host.
+    pub fn current_cost(&mut self, v: usize) -> Score {
+        match self.eval.placement_of(v) {
+            Some(p) => self.score(p, v),
+            None => Score::INFINITE,
+        }
+    }
+
+    /// Applies `⟨v → h⟩` to the overlay and dirties exactly the two
+    /// affected host rows.
+    pub fn apply_move(&mut self, v: usize, h: usize) {
+        let old = self.eval.placement_of(v);
+        self.eval.apply_move(v, h);
+        if let Some(o) = old {
+            self.mark_row_changed(o);
+        }
+        self.mark_row_changed(h);
+    }
+
+    /// The most beneficial unapplied move over all non-frozen columns, by
+    /// the solver's ordering key `(Δ, to, column, row)` and subject to
+    /// the migration-gain bar — or `None` at a local optimum.
+    pub fn best_move(&mut self, frozen: &[bool]) -> Option<(usize, usize)> {
+        self.sync();
+        let mut best: Option<(f64, f64, usize, usize)> = None;
+        for (v, &is_frozen) in frozen.iter().enumerate().take(self.n) {
+            if is_frozen {
+                continue;
+            }
+            let Some((to_val, h)) = self.col_best[v] else {
+                continue;
+            };
+            let from = match self.eval.placement_of(v) {
+                Some(p) => self.cells[p * self.n + v],
+                None => Score::INFINITE,
+            };
+            let d = Score::delta(Score::finite(to_val), from).expect("column best is finite");
+            // Creations (from the virtual host) only need any feasible
+            // cell; migrations must clear the configured gain bar. The
+            // column best minimizes Δ, so if it fails the bar the whole
+            // column does.
+            let bar = if self.eval.original_of(v).is_some() {
+                -self.eval.min_migration_gain()
+            } else {
+                0.0
+            };
+            if d >= bar {
+                continue;
+            }
+            let cand = (d, to_val, v, h);
+            if best.is_none_or(|b| cand < b) {
+                best = Some(cand);
+            }
+        }
+        best.map(|(_, _, v, h)| (v, h))
+    }
+
+    /// §III-C power-off aggregate of host row `h`: the number of infinite
+    /// cells and the sum of the finite ones. Touches only this row (lazy
+    /// scoring), so ranking a few candidate hosts stays `O(|candidates|·N)`.
+    pub fn row_aggregate(&mut self, h: usize) -> (usize, f64) {
+        self.ensure_row(h);
+        let mut infs = 0usize;
+        let mut sum = 0.0;
+        for v in 0..self.n {
+            let s = self.cells[h * self.n + v];
+            if s.is_infinite() {
+                infs += 1;
+            } else {
+                sum += s.value();
+            }
+        }
+        (infs, sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScoreConfig;
+    use eards_model::{Cluster, Cpu, HostClass, HostId, HostSpec, Job, JobId, Mem, PowerState};
+    use eards_sim::{SimDuration, SimTime};
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn cluster(n: u32) -> Cluster {
+        Cluster::new(
+            (0..n)
+                .map(|i| HostSpec::standard(HostId(i), HostClass::Medium))
+                .collect(),
+            PowerState::On,
+        )
+    }
+
+    fn job(id: u64, cpu: u32) -> Job {
+        Job::new(
+            JobId(id),
+            SimTime::ZERO,
+            Cpu(cpu),
+            Mem::gib(1),
+            SimDuration::from_secs(6000),
+            1.5,
+        )
+    }
+
+    #[test]
+    fn cached_cells_match_fresh_scores_after_moves() {
+        let mut c = cluster(4);
+        let vms: Vec<_> = (0..5).map(|i| c.submit_job(job(i, 150))).collect();
+        let cfg = ScoreConfig::sb();
+        let mut eval = Eval::new(&c, &cfg, t(0), vms);
+        let mut matrix = ScoreMatrix::new(&mut eval);
+        // A zig-zag of moves, including stacking and vacating.
+        for &(v, h) in &[(0usize, 0usize), (1, 0), (2, 1), (0, 1), (3, 3), (0, 2)] {
+            matrix.apply_move(v, h);
+            for h in 0..matrix.num_hosts() {
+                for v in 0..matrix.num_vms() {
+                    let cached = matrix.score(h, v);
+                    let fresh = matrix.eval().score(h, v);
+                    assert_eq!(
+                        cached.value().to_bits(),
+                        fresh.value().to_bits(),
+                        "cell ({h}, {v}) diverged: cached {cached} fresh {fresh}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_aggregate_matches_manual_sum() {
+        let mut c = cluster(3);
+        c.begin_power_off(HostId(2), t(0));
+        let vms: Vec<_> = (0..3).map(|i| c.submit_job(job(i, 150))).collect();
+        let cfg = ScoreConfig::sb1();
+        let mut eval = Eval::new(&c, &cfg, t(0), vms);
+        let (infs, sum) = {
+            let mut matrix = ScoreMatrix::new(&mut eval);
+            matrix.row_aggregate(2)
+        };
+        assert_eq!(infs, 3, "an off host is infeasible for every column");
+        assert_eq!(sum, 0.0);
+        let (infs0, sum0) = {
+            let mut matrix = ScoreMatrix::new(&mut eval);
+            matrix.row_aggregate(0)
+        };
+        assert_eq!(infs0, 0);
+        let manual: f64 = (0..3).map(|v| eval.score(0, v).value()).sum();
+        assert!((sum0 - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn buffers_round_trip_preserves_behavior() {
+        let mut buf = EngineBuffers::new();
+        for round in 0..3 {
+            let mut c = cluster(3);
+            let vms: Vec<_> = (0..4).map(|i| c.submit_job(job(i, 100))).collect();
+            let cfg = ScoreConfig::sb0();
+            let mut fresh_eval = Eval::new(&c, &cfg, t(round), vms.clone());
+            let expected = {
+                let mut m = ScoreMatrix::new(&mut fresh_eval);
+                m.best_move(&[false; 4])
+            };
+            let mut eval = Eval::new_in(&c, &cfg, t(round), vms, &mut buf);
+            let mut m = ScoreMatrix::new_in(&mut eval, &mut buf);
+            assert_eq!(m.best_move(&[false; 4]), expected, "round {round}");
+            m.recycle(&mut buf);
+            eval.recycle(&mut buf);
+        }
+    }
+}

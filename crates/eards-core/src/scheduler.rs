@@ -4,9 +4,11 @@
 //! Each scheduling round (§III-A): collect the candidate VMs (the
 //! virtual-host queue, plus every running VM when migration is enabled;
 //! VMs with in-flight operations are pinned and excluded), build the
-//! score matrix through [`Eval`], hill-climb it with [`solve`], and emit
-//! the resulting create/migrate actions. Power on/off candidate ranking
-//! (§III-C) is driven by aggregated matrix rows.
+//! incremental score matrix ([`Eval`] overlay + [`ScoreMatrix`] cell
+//! cache, recycling one [`EngineBuffers`] allocation across rounds),
+//! hill-climb it with [`solve_matrix`], and emit the resulting
+//! create/migrate actions. Power on/off candidate ranking (§III-C) is
+//! driven by lazily aggregated matrix rows.
 
 use eards_model::{
     Action, Cluster, HostId, Policy, ScheduleContext, ScheduleReason, VmId, VmState,
@@ -14,7 +16,8 @@ use eards_model::{
 
 use crate::config::ScoreConfig;
 use crate::eval::Eval;
-use crate::solver::solve;
+use crate::matrix::{EngineBuffers, ScoreMatrix};
+use crate::solver::solve_matrix;
 
 /// The score-based scheduling policy (SB0/SB1/SB2/SB depending on its
 /// [`ScoreConfig`]).
@@ -48,12 +51,19 @@ use crate::solver::solve;
 pub struct ScoreScheduler {
     /// Penalty switches and cost parameters.
     pub cfg: ScoreConfig,
+    /// Engine allocations recycled across rounds: the scheduler outlives
+    /// each round's `&Cluster` borrow, so the `O(M·N)` matrix storage is
+    /// set up once and reused instead of reallocated every round.
+    buffers: EngineBuffers,
 }
 
 impl ScoreScheduler {
     /// Creates a scheduler with the given configuration.
     pub fn new(cfg: ScoreConfig) -> Self {
-        ScoreScheduler { cfg }
+        ScoreScheduler {
+            cfg,
+            buffers: EngineBuffers::new(),
+        }
     }
 
     /// The matrix columns for the current round: the queue, plus — when
@@ -67,28 +77,29 @@ impl ScoreScheduler {
     /// migrate more). VMs on well-filled hosts have no consolidation
     /// motive; restricting the columns keeps migration counts in a sane
     /// regime instead of re-evaluating the whole datacenter every round.
-    fn candidate_vms(&self, cluster: &Cluster, migrate_now: bool) -> Vec<VmId> {
-        let mut cols: Vec<VmId> = cluster.queue().to_vec();
+    fn candidate_vms_into(&self, cluster: &Cluster, migrate_now: bool, cols: &mut Vec<VmId>) {
+        cols.clear();
+        cols.extend_from_slice(cluster.queue());
         if self.cfg.migration && migrate_now {
             let occ_bar = if self.cfg.c_fill > 0.0 {
                 self.cfg.c_empty / self.cfg.c_fill
             } else {
                 0.0
             };
-            let mut running: Vec<VmId> = cluster
-                .hosts()
-                .iter()
-                .filter(|h| {
-                    h.resident.len() + h.incoming.len() <= self.cfg.th_empty
-                        || cluster.occupation(h.spec.id) < occ_bar
-                })
-                .flat_map(|h| h.resident.iter().copied())
-                .filter(|&v| cluster.vm(v).state == VmState::Running)
-                .collect();
-            running.sort_unstable(); // deterministic column order
-            cols.extend(running);
+            let queue_len = cols.len();
+            cols.extend(
+                cluster
+                    .hosts()
+                    .iter()
+                    .filter(|h| {
+                        h.resident.len() + h.incoming.len() <= self.cfg.th_empty
+                            || cluster.occupation(h.spec.id) < occ_bar
+                    })
+                    .flat_map(|h| h.resident.iter().copied())
+                    .filter(|&v| cluster.vm(v).state == VmState::Running),
+            );
+            cols[queue_len..].sort_unstable(); // deterministic column order
         }
-        cols
     }
 }
 
@@ -110,17 +121,25 @@ impl Policy for ScoreScheduler {
             ctx.reason,
             ScheduleReason::Periodic | ScheduleReason::SlaViolation
         );
-        let cols = self.candidate_vms(cluster, migrate_now);
+        let mut cols = std::mem::take(&mut self.buffers.vms);
+        self.candidate_vms_into(cluster, migrate_now, &mut cols);
         if cols.is_empty() {
+            self.buffers.vms = cols;
             return Vec::new();
         }
-        let mut eval = Eval::new(cluster, &self.cfg, ctx.now, cols);
-        let sol = solve(&mut eval, self.cfg.max_moves);
+        let mut eval = Eval::new_in(cluster, &self.cfg, ctx.now, cols, &mut self.buffers);
+        let sol = {
+            let mut matrix = ScoreMatrix::new_in(&mut eval, &mut self.buffers);
+            let sol = solve_matrix(&mut matrix, self.cfg.max_moves);
+            matrix.recycle(&mut self.buffers);
+            sol
+        };
 
         // Each column moves at most once, so the move list maps directly
         // to actions; emission order follows solver order (most beneficial
         // first), which the driver preserves.
-        sol.moves
+        let actions = sol
+            .moves
             .iter()
             .map(|&(v, h)| {
                 let vm = eval.vms()[v];
@@ -130,7 +149,9 @@ impl Policy for ScoreScheduler {
                     Some(_) => Action::Migrate { vm, to: host },
                 }
             })
-            .collect()
+            .collect();
+        eval.recycle(&mut self.buffers);
+        actions
     }
 
     /// §III-C: victims for power-off are picked by the aggregated matrix
@@ -142,21 +163,17 @@ impl Policy for ScoreScheduler {
         now: eards_sim::SimTime,
         candidates: &[HostId],
     ) -> Vec<HostId> {
-        let cols = self.candidate_vms(cluster, false);
-        let eval = Eval::new(cluster, &self.cfg, now, cols);
+        let mut cols = Vec::new();
+        self.candidate_vms_into(cluster, false, &mut cols);
+        let mut eval = Eval::new(cluster, &self.cfg, now, cols);
+        // Rows are scored lazily, so aggregating only the candidate rows
+        // of the matrix stays O(|candidates|·N) — the rest of the matrix
+        // is never materialized.
+        let mut matrix = ScoreMatrix::new(&mut eval);
         let mut scored: Vec<(usize, f64, HostId)> = candidates
             .iter()
             .map(|&h| {
-                let mut infs = 0usize;
-                let mut sum = 0.0;
-                for v in 0..eval.num_vms() {
-                    let s = eval.score(h.raw() as usize, v);
-                    if s.is_infinite() {
-                        infs += 1;
-                    } else {
-                        sum += s.value();
-                    }
-                }
+                let (infs, sum) = matrix.row_aggregate(h.raw() as usize);
                 (infs, sum, h)
             })
             .collect();

@@ -12,8 +12,31 @@
 //! operation immediately (after which the VM is pinned with an infinite
 //! `P_virt` anyway), and the freeze makes termination proofs trivial:
 //! at most `min(max_moves, N)` moves per round.
+//!
+//! ## Candidate ordering (tie-breaking contract)
+//!
+//! Each sweep picks the candidate minimizing the tuple
+//!
+//! `(Δ, to, column, row)`
+//!
+//! under strict lexicographic `<`, where `Δ = to − from` is the
+//! delta-normalized benefit and `to` is the **raw** (signed) score of the
+//! target cell — *not* its absolute value: between two moves of equal
+//! benefit, the one landing in the more negative (more consolidated)
+//! cell wins. Remaining ties fall to the lower column index, then the
+//! lower host row. This exact tuple is a compatibility contract: the
+//! incremental engine ([`crate::matrix::ScoreMatrix`]) relies on `from`
+//! being constant per column to reduce the within-column order to
+//! `(to, row)`, and `tie_breaks_follow_documented_order` pins it.
+//!
+//! [`solve`] runs the hill climb through the incremental engine;
+//! [`solve_reference`] is the original full-rescan implementation, kept
+//! as the differential-testing oracle (`tests/matrix_oracle.rs` asserts
+//! move-for-move equality) and as the baseline the solver benchmarks
+//! compare against.
 
 use crate::eval::Eval;
+use crate::matrix::ScoreMatrix;
 use crate::score::Score;
 
 /// One applied move: `(matrix column, host row)`.
@@ -31,8 +54,51 @@ pub struct Solution {
     pub hit_move_limit: bool,
 }
 
-/// Runs hill climbing until convergence or `max_moves`.
+/// Runs hill climbing until convergence or `max_moves`, using the
+/// incremental [`ScoreMatrix`] engine (identical output to
+/// [`solve_reference`], asymptotically cheaper per sweep).
 pub fn solve(eval: &mut Eval<'_>, max_moves: usize) -> Solution {
+    let mut matrix = ScoreMatrix::new(eval);
+    solve_matrix(&mut matrix, max_moves)
+}
+
+/// Hill climbs an already-built [`ScoreMatrix`] (lets callers reuse the
+/// engine's allocations across rounds; see
+/// [`EngineBuffers`](crate::matrix::EngineBuffers)).
+pub fn solve_matrix(matrix: &mut ScoreMatrix<'_, '_>, max_moves: usize) -> Solution {
+    let n = matrix.num_vms();
+    let mut frozen = vec![false; n];
+    let mut moves = Vec::new();
+    let mut sweeps = 0;
+
+    while moves.len() < max_moves {
+        sweeps += 1;
+        match matrix.best_move(&frozen) {
+            Some((v, h)) => {
+                matrix.apply_move(v, h);
+                frozen[v] = true;
+                moves.push((v, h));
+            }
+            None => {
+                return Solution {
+                    moves,
+                    sweeps,
+                    hit_move_limit: false,
+                };
+            }
+        }
+    }
+    Solution {
+        moves,
+        sweeps,
+        hit_move_limit: true,
+    }
+}
+
+/// The original full-rescan hill climb: every sweep re-scores the entire
+/// matrix from scratch. Retained as the differential-testing oracle for
+/// [`solve`] and as the benchmark baseline — not used by the scheduler.
+pub fn solve_reference(eval: &mut Eval<'_>, max_moves: usize) -> Solution {
     let n = eval.num_vms();
     let m = eval.num_hosts();
     let mut frozen = vec![false; n];
@@ -42,8 +108,9 @@ pub fn solve(eval: &mut Eval<'_>, max_moves: usize) -> Solution {
     while moves.len() < max_moves {
         sweeps += 1;
         // Find the most beneficial move over the whole (delta-normalized)
-        // matrix. Ties break on the smaller absolute score, then on column
-        // and row order — deterministic across runs.
+        // matrix. Ties break on the smaller raw target score, then on
+        // column and row order — deterministic across runs (see the
+        // module docs for the full ordering contract).
         let mut best: Option<(f64, f64, usize, usize)> = None;
         for (v, &is_frozen) in frozen.iter().enumerate().take(n) {
             if is_frozen {
@@ -207,6 +274,55 @@ mod tests {
             assert_eq!(h, 0);
         }
         assert_eq!(eval.placement_of(2), None, "third VM stays queued");
+    }
+
+    #[test]
+    fn tie_breaks_follow_documented_order() {
+        // Two identical queued VMs on three identical empty hosts: every
+        // feasible cell ties on Δ (= −∞ from the virtual host) AND on the
+        // raw target score, so the winner must be the lowest (column, row)
+        // pair — VM 0 onto host 0.
+        let mut c = cluster(3);
+        let vms: Vec<VmId> = (0..2).map(|i| c.submit_job(job(i, 100))).collect();
+        let cfg = ScoreConfig::sb0();
+        let mut eval = crate::eval::Eval::new(&c, &cfg, t(0), vms.clone());
+        let mut matrix = crate::matrix::ScoreMatrix::new(&mut eval);
+        assert_eq!(
+            matrix.best_move(&[false, false]),
+            Some((0, 0)),
+            "full tie must fall to lowest column, then lowest row"
+        );
+
+        // Same Δ (−∞), different raw target scores: a bigger VM fills a
+        // host further, so its cell is more negative (P_pwr = C_e − O·C_f)
+        // and must win even from a *higher* column index — the raw-value
+        // tie-break outranks column order.
+        let mut c = cluster(3);
+        let small = c.submit_job(job(10, 100)); // to = 20 − 0.25·40 = 10
+        let big = c.submit_job(job(11, 200)); // to = 20 − 0.50·40 = 0
+        let cfg = ScoreConfig::sb0();
+        let mut eval = crate::eval::Eval::new(&c, &cfg, t(0), vec![small, big]);
+        let mut matrix = crate::matrix::ScoreMatrix::new(&mut eval);
+        assert_eq!(
+            matrix.best_move(&[false, false]),
+            Some((1, 0)),
+            "more negative raw score beats lower column index"
+        );
+
+        // The reference solver must agree move-for-move on both setups.
+        for (mk, expect) in [
+            (vec![(0u64, 100u32), (1, 100)], (0usize, 0usize)),
+            (vec![(10, 100), (11, 200)], (1, 0)),
+        ] {
+            let mut c = cluster(3);
+            let vms: Vec<VmId> = mk
+                .iter()
+                .map(|&(id, cpu)| c.submit_job(job(id, cpu)))
+                .collect();
+            let mut eval = crate::eval::Eval::new(&c, &cfg, t(0), vms);
+            let sol = solve_reference(&mut eval, 1);
+            assert_eq!(sol.moves, vec![expect]);
+        }
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Differential oracle for the incremental score-matrix engine.
+//!
+//! The refactor from "stateless recompute" ([`solve_reference`]) to the
+//! cached [`ScoreMatrix`] engine ([`solve`]) must not change a single
+//! score: every SB0/SB1/SB2/SB table in EXPERIMENTS.md depends on the
+//! solver's exact move sequences. These properties pin that down:
+//!
+//! * after an **arbitrary** move sequence, every cached cell is
+//!   bit-identical (`f64::to_bits`) to a from-scratch [`Eval`] recompute
+//!   of the same overlay state, and
+//! * the incremental hill climb returns a [`Solution`] whose `moves` are
+//!   **identical** to the reference full-rescan implementation, for every
+//!   penalty set.
+
+use proptest::prelude::*;
+
+use eards_core::{solve, solve_reference, Eval, ScoreConfig, ScoreMatrix};
+use eards_model::{Cluster, Cpu, HostClass, HostId, HostSpec, Job, JobId, Mem, PowerState, VmId};
+use eards_sim::{SimDuration, SimTime};
+
+/// A randomized cluster: `n_hosts` nodes of mixed Fast/Medium/Slow
+/// classes, some powered off, some VMs already placed, some queued.
+fn build(
+    n_hosts: u32,
+    class_seed: u8,
+    off: &[u8],
+    placed: &[(u8, u8)],
+    queued: &[u8],
+) -> (Cluster, Vec<VmId>) {
+    let classes = [HostClass::Fast, HostClass::Medium, HostClass::Slow];
+    let specs = (0..n_hosts)
+        .map(|i| {
+            HostSpec::standard(
+                HostId(i),
+                classes[usize::from(class_seed.wrapping_add(i as u8)) % 3],
+            )
+        })
+        .collect();
+    let mut cluster = Cluster::new(specs, PowerState::On);
+    // Power some nodes off before anything lands on them: their rows must
+    // stay all-infinite through every overlay state.
+    for &o in off {
+        let h = HostId(u32::from(o) % n_hosts);
+        if cluster.host(h).power == PowerState::On {
+            cluster.begin_power_off(h, SimTime::ZERO);
+        }
+    }
+    let mut cols = Vec::new();
+    let mut next = 0u64;
+    let t0 = SimTime::ZERO;
+    let t1 = SimTime::from_secs(40);
+    for &(cpu_idx, host_bias) in placed {
+        let cpu = Cpu(100 * (1 + u32::from(cpu_idx % 4)));
+        let vm = cluster.submit_job(Job::new(
+            JobId(next),
+            t0,
+            cpu,
+            Mem::gib(1),
+            SimDuration::from_secs(3600),
+            1.5,
+        ));
+        next += 1;
+        let mut done = false;
+        for k in 0..n_hosts {
+            let h = HostId((u32::from(host_bias) + k) % n_hosts);
+            if cluster.host(h).power == PowerState::On && cluster.can_place(h, vm) {
+                cluster.start_creation(vm, h, t0, t1);
+                cluster.finish_creation(vm, t1);
+                done = true;
+                break;
+            }
+        }
+        if done {
+            cols.push(vm);
+        }
+    }
+    for &cpu_idx in queued {
+        let cpu = Cpu(100 * (1 + u32::from(cpu_idx % 4)));
+        let vm = cluster.submit_job(Job::new(
+            JobId(next),
+            t1,
+            cpu,
+            Mem::gib(1),
+            SimDuration::from_secs(1800),
+            1.5,
+        ));
+        next += 1;
+        cols.push(vm);
+    }
+    (cluster, cols)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// After every prefix of an arbitrary move sequence, each cached cell
+    /// equals a from-scratch recompute of the same overlay — bitwise.
+    #[test]
+    fn incremental_cells_match_recompute(
+        n_hosts in 5u32..50,
+        class_seed in any::<u8>(),
+        off in proptest::collection::vec(any::<u8>(), 0..4),
+        placed in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..8),
+        queued in proptest::collection::vec(any::<u8>(), 0..6),
+        moves in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..10),
+    ) {
+        let (cluster, cols) = build(n_hosts, class_seed, &off, &placed, &queued);
+        if cols.is_empty() {
+            return;
+        }
+        let m = cluster.num_hosts();
+        let n = cols.len();
+        let now = SimTime::from_secs(120);
+        for cfg in [ScoreConfig::sb0(), ScoreConfig::sb(), ScoreConfig::full()] {
+            // The engine under test, fed moves incrementally …
+            let mut eval = Eval::new(&cluster, &cfg, now, cols.clone());
+            let mut matrix = ScoreMatrix::new(&mut eval);
+            // … and a shadow evaluator replaying the same moves, scored
+            // from scratch at every step.
+            let mut shadow = Eval::new(&cluster, &cfg, now, cols.clone());
+            for &(vs, hs) in &moves {
+                let v = usize::from(vs) % n;
+                let h = usize::from(hs) % m;
+                if matrix.eval().placement_of(v) == Some(h) {
+                    continue; // the solver never emits a self-move
+                }
+                matrix.apply_move(v, h);
+                shadow.apply_move(v, h);
+                for h in 0..m {
+                    for v in 0..n {
+                        let cached = matrix.score(h, v);
+                        let fresh = shadow.score(h, v);
+                        prop_assert_eq!(
+                            cached.value().to_bits(),
+                            fresh.value().to_bits(),
+                            "cfg {}: cell ({}, {}) diverged: cached {} fresh {}",
+                            &cfg.name, h, v, cached, fresh
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The incremental hill climb and the reference full-rescan climb
+    /// produce identical solutions (move-for-move, same sweep count, same
+    /// limit flag) and identical final placements.
+    #[test]
+    fn solve_matches_reference_solver(
+        n_hosts in 5u32..50,
+        class_seed in any::<u8>(),
+        off in proptest::collection::vec(any::<u8>(), 0..4),
+        placed in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..8),
+        queued in proptest::collection::vec(any::<u8>(), 0..6),
+        cap in 1usize..24,
+    ) {
+        let (cluster, cols) = build(n_hosts, class_seed, &off, &placed, &queued);
+        let now = SimTime::from_secs(120);
+        for cfg in [ScoreConfig::sb0(), ScoreConfig::sb(), ScoreConfig::full()] {
+            let mut inc = Eval::new(&cluster, &cfg, now, cols.clone());
+            let fast = solve(&mut inc, cap);
+            let mut refr = Eval::new(&cluster, &cfg, now, cols.clone());
+            let slow = solve_reference(&mut refr, cap);
+            prop_assert_eq!(
+                &fast.moves, &slow.moves,
+                "cfg {}: move sequences diverged", &cfg.name
+            );
+            prop_assert_eq!(fast.hit_move_limit, slow.hit_move_limit);
+            for v in 0..cols.len() {
+                prop_assert_eq!(inc.placement_of(v), refr.placement_of(v));
+            }
+        }
+    }
+}

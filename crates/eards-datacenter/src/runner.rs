@@ -7,6 +7,15 @@
 //! *Workload Generator* feeds arrivals, the *Scheduler* is real code (the
 //! policy under test), and the *VHost* layer — execution, operation
 //! overheads, power — is simulated here.
+//!
+//! Per-round state is recycled, not rebuilt: the runner owns its policy
+//! for the whole simulation, so a [`ScoreScheduler`]'s incremental
+//! score-matrix engine (`eards_core::EngineBuffers`) carries its `O(M·N)`
+//! allocations from one consolidation tick to the next, and the
+//! power-adjustment candidate sets reuse one scratch vector across
+//! rounds.
+//!
+//! [`ScoreScheduler`]: eards_core::ScoreScheduler
 
 use std::collections::HashMap;
 
@@ -86,6 +95,10 @@ pub struct Runner {
     audit: Vec<AuditEvent>,
     /// Satisfaction of jobs completed since the last adjustment.
     sat_window: eards_metrics::Summary,
+    /// Scratch for power-on/off candidate sets, reused across rounds
+    /// (the set is rebuilt every `adjust_power` pass; the allocation
+    /// is not).
+    power_scratch: Vec<HostId>,
 }
 
 impl Runner {
@@ -144,6 +157,7 @@ impl Runner {
             lambda_min: 0.0, // set from cfg in run()
             audit: Vec::new(),
             sat_window: eards_metrics::Summary::new(),
+            power_scratch: Vec::new(),
         }
     }
 
@@ -565,6 +579,7 @@ impl Runner {
     // ----- power management (§III-C) ----------------------------------------
 
     fn adjust_power(&mut self, now: SimTime) {
+        let mut candidates = std::mem::take(&mut self.power_scratch);
         // Turn on: working/online above λ_max, or unplaceable queue.
         loop {
             let online = self.cluster.online_count();
@@ -578,13 +593,14 @@ impl Runner {
             if ratio <= self.cfg.lambda_max && !queue_stuck {
                 break;
             }
-            let candidates: Vec<HostId> = self
-                .cluster
-                .hosts()
-                .iter()
-                .filter(|h| h.power == PowerState::Off)
-                .map(|h| h.spec.id)
-                .collect();
+            candidates.clear();
+            candidates.extend(
+                self.cluster
+                    .hosts()
+                    .iter()
+                    .filter(|h| h.power == PowerState::Off)
+                    .map(|h| h.spec.id),
+            );
             if candidates.is_empty() {
                 break;
             }
@@ -614,13 +630,14 @@ impl Runner {
             if ratio >= self.lambda_min {
                 break;
             }
-            let candidates: Vec<HostId> = self
-                .cluster
-                .hosts()
-                .iter()
-                .filter(|h| h.power == PowerState::On && h.is_idle())
-                .map(|h| h.spec.id)
-                .collect();
+            candidates.clear();
+            candidates.extend(
+                self.cluster
+                    .hosts()
+                    .iter()
+                    .filter(|h| h.power == PowerState::On && h.is_idle())
+                    .map(|h| h.spec.id),
+            );
             if candidates.is_empty() {
                 break;
             }
@@ -632,6 +649,7 @@ impl Runner {
             self.note(now, AuditKind::HostPoweringOff { host: pick });
             self.sim.schedule_at(off_at, Event::ShutdownDone(pick));
         }
+        self.power_scratch = candidates;
     }
 
     /// True if a queued VM cannot be placed on any ready host and no help

@@ -1,0 +1,260 @@
+//! Offline stand-in for the subset of the `criterion` benchmark harness
+//! this workspace uses. The build environment has no access to crates.io,
+//! so the real crate is replaced with this vendored implementation via
+//! `[patch.crates-io]`.
+//!
+//! Measurement model: each benchmark routine is warmed up briefly, then
+//! timed over adaptively-sized batches until a wall-clock budget is spent;
+//! the mean per-iteration time is printed as
+//! `bench: <group>/<id> ... <mean> per iter (<iters> iters)`. There are no
+//! statistical comparisons or HTML reports — this is a timing harness, not
+//! a statistics package — but the numbers are stable enough for the
+//! order-of-magnitude regression tracking `BENCH_*.json` baselines need.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<function_name>/<parameter>` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Drives one benchmark routine's iterations.
+pub struct Bencher {
+    /// Mean seconds per iteration, filled by [`Bencher::iter`].
+    mean_secs: f64,
+    iters_done: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: one call, and size the first batch from it.
+        let t0 = Instant::now();
+        black_box(routine());
+        let first = t0.elapsed().max(Duration::from_nanos(20));
+        let mut batch = (Duration::from_millis(2).as_nanos() / first.as_nanos()).max(1) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += t.elapsed();
+            iters += batch;
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+        self.mean_secs = total.as_secs_f64() / iters as f64;
+        self.iters_done = iters;
+    }
+}
+
+fn fmt_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn run_one(group: &str, id: &str, budget: Duration, f: impl FnOnce(&mut Bencher)) -> f64 {
+    let mut b = Bencher {
+        mean_secs: 0.0,
+        iters_done: 0,
+        budget,
+    };
+    f(&mut b);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    println!(
+        "bench: {label:<48} {:>12} per iter ({} iters)",
+        fmt_duration(b.mean_secs),
+        b.iters_done
+    );
+    b.mean_secs
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling here is time-budgeted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.criterion.budget = time.min(Duration::from_secs(2));
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mean = run_one(&self.name, &id.id, self.criterion.budget, |bencher| {
+            f(bencher, input)
+        });
+        self.criterion
+            .results
+            .push((format!("{}/{}", self.name, id.id), mean));
+        self
+    }
+
+    /// Benchmarks a plain routine.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mean = run_one(&self.name, &id.id, self.criterion.budget, |b| f(b));
+        self.criterion
+            .results
+            .push((format!("{}/{}", self.name, id.id), mean));
+        self
+    }
+
+    /// Ends the group (printing already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    budget: Duration,
+    /// `(label, mean seconds per iteration)` for everything run so far.
+    results: Vec<(String, f64)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep CI runs quick: a fraction of a second per benchmark gives
+        // better-than-10% stability for the µs-to-ms routines measured here.
+        let budget = std::env::var("CRITERION_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(Duration::from_millis(300));
+        Criterion {
+            budget,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a plain routine outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mean = run_one("", id, self.budget, |b| f(b));
+        self.results.push((id.to_string(), mean));
+        self
+    }
+
+    /// All `(label, mean seconds)` results recorded so far — lets bench
+    /// binaries emit machine-readable baselines (e.g. `BENCH_solver.json`).
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        c.budget = Duration::from_millis(10);
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[0].0, "g/4");
+        assert!(c.results().iter().all(|(_, m)| *m > 0.0));
+    }
+}

@@ -1,0 +1,76 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses:
+//! scoped threads. Backed by `std::thread::scope` (stabilized long after
+//! crossbeam popularized the pattern), wrapped to present crossbeam's
+//! `scope(|s| { s.spawn(|_| ..) })` shape, including the `Result` return
+//! (with `std::thread::scope` panics propagate on join, so the `Err` arm
+//! is never actually constructed). The build environment has no access to
+//! crates.io, so the real crate is replaced by this vendored
+//! implementation via `[patch.crates-io]`.
+
+use std::any::Any;
+
+/// A scope handle passed to [`scope`]'s closure and to each spawned
+/// thread's closure (crossbeam lets workers spawn siblings; most callers
+/// ignore it with `|_|`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives this scope again.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a scope in which threads borrowing from the environment
+/// can be spawned; all are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let data = vec![1usize, 2, 3, 4];
+        let result = super::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    for &x in chunk {
+                        counter.fetch_add(x, Ordering::Relaxed);
+                    }
+                });
+            }
+            7
+        })
+        .expect("no panics");
+        assert_eq!(result, 7);
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn workers_can_spawn_siblings() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}
