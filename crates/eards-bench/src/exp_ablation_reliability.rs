@@ -16,7 +16,7 @@
 use eards_core::{ScoreConfig, ScoreScheduler};
 use eards_datacenter::{run_sweep, RunConfig, SweepPoint};
 use eards_metrics::{RunReport, Table};
-use eards_model::{HostClass, HostId, HostSpec};
+use eards_model::{FaultPlan, HostClass, HostId, HostSpec};
 use eards_sim::SimDuration;
 use eards_workload::{generate, SynthConfig};
 
@@ -48,11 +48,11 @@ fn variant(fault: bool, ckpt: bool) -> (String, ScoreConfig, RunConfig) {
         (true, true) => "SB+fault+ckpt",
     };
     let run = RunConfig {
-        failures: true,
-        repair_time: SimDuration::from_mins(30),
         checkpoint_period: ckpt.then(|| SimDuration::from_mins(10)),
         ..RunConfig::default()
-    };
+    }
+    // Reliability-driven crashes with the default 30-minute repair.
+    .with_faults(FaultPlan::crashes());
     (name.to_string(), cfg.named(name), run)
 }
 

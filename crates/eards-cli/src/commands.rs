@@ -34,6 +34,8 @@ COMMON FLAGS:
   --lambda-max P              node turn-on threshold, percent (default 90)
   --adaptive TARGET           adaptive λ_min controller holding TARGET % satisfaction
   --failures                  inject host failures from reliability factors
+  --chaos X                   full fault plan at intensity X (crashes, boot/creation/
+                              migration failures, slowdowns, rack outages; 1.0 = nominal)
   --checkpoint-mins M         checkpoint running VMs every M minutes
   --seed S                    simulation seed (operation jitter, failures)
   --economics                 additionally print revenue/energy-cost/profit

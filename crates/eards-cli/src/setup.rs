@@ -3,7 +3,7 @@
 
 use eards_core::{ScoreConfig, ScoreScheduler};
 use eards_datacenter::{paper_datacenter, small_datacenter, AdaptiveLambda, RunConfig};
-use eards_model::{HostClass, HostSpec, Policy};
+use eards_model::{FaultPlan, HostClass, HostSpec, Policy};
 use eards_policies::{BackfillingPolicy, DynamicBackfillingPolicy, RandomPolicy, RoundRobinPolicy};
 use eards_sim::SimDuration;
 use eards_workload::{generate, parse_swf, SwfOptions, SynthConfig, Trace};
@@ -64,6 +64,7 @@ pub const COMMON_VALUED: &[&str] = &[
     "out",
     "lambda-min-grid",
     "lambda-max-grid",
+    "chaos",
 ];
 
 /// The boolean switches shared by the simulation commands.
@@ -137,7 +138,15 @@ pub fn build_run_config(args: &Args) -> Result<RunConfig, CliError> {
     }
     let mut cfg = RunConfig::default().with_lambdas(lo, hi);
     cfg.seed = args.get::<u64>("seed", cfg.seed)?;
-    cfg.failures = args.switch("failures");
+    if args.switch("failures") {
+        cfg = cfg.with_faults(FaultPlan::crashes());
+    }
+    if let Some(x) = args.get_opt::<f64>("chaos")? {
+        if x < 0.0 {
+            return Err(CliError::Usage("--chaos intensity must be ≥ 0".into()));
+        }
+        cfg = cfg.with_faults(FaultPlan::chaos(x));
+    }
     if let Some(mins) = args.get_opt::<u64>("checkpoint-mins")? {
         cfg.checkpoint_period = Some(SimDuration::from_mins(mins));
     }
@@ -173,7 +182,7 @@ mod tests {
         assert!(t.len() > 10, "a day of load");
         let cfg = build_run_config(&a).unwrap();
         assert_eq!(cfg.lambda_min, 0.30);
-        assert!(!cfg.failures);
+        assert!(cfg.faults.is_none());
     }
 
     #[test]
@@ -183,7 +192,16 @@ mod tests {
         let cfg = build_run_config(&a).unwrap();
         assert_eq!(cfg.lambda_min, 0.40);
         assert_eq!(cfg.lambda_max, 0.95);
-        assert!(cfg.failures);
+        assert!(cfg.faults.host_crashes);
+    }
+
+    #[test]
+    fn chaos_flag_builds_a_full_plan() {
+        let a = parse("--chaos 1.5");
+        let cfg = build_run_config(&a).unwrap();
+        assert!(cfg.faults.host_crashes);
+        assert!(cfg.faults.creation_failure_prob > 0.0);
+        assert!(cfg.faults.rack.is_some());
     }
 
     #[test]

@@ -263,9 +263,11 @@ impl<'a> Eval<'a> {
             movein += self.p_conc_movein(h);
         }
 
-        // P_fault (§III-A.6, extension).
+        // P_fault (§III-A.6, extension). Reads the *effective* reliability
+        // so a flapping-host blacklist penalty steers placements away;
+        // without a penalty this is bit-identical to the raw spec value.
         let fault = if self.cfg.fault_penalty {
-            let rel = host.spec.reliability;
+            let rel = self.cluster.effective_reliability(HostId(h as u32));
             Score::finite(((1.0 - rel) - vm.job.fault_tolerance) * self.cfg.c_fail)
         } else {
             Score::ZERO
@@ -570,6 +572,22 @@ mod tests {
         let flaky = eval.score(1, 0).value();
         // Identical except P_fault = (0.1 − 0)·500 = 50.
         assert!((flaky - reliable - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blacklist_penalty_raises_p_fault() {
+        let mut c = cluster(&[HostClass::Medium, HostClass::Medium]);
+        let vm = c.submit_job(job(1, 100, 600));
+        let cfg = ScoreConfig::full();
+        let eval = Eval::new(&c, &cfg, t(0), vec![vm]);
+        let clean = eval.score(0, 0).value();
+        assert_eq!(clean, eval.score(1, 0).value(), "identical hosts");
+        drop(eval);
+        // Blacklist host 0 as flapping: P_fault rises by 0.05·500 = 25.
+        c.blacklist(HostId(0), 0.05);
+        let eval = Eval::new(&c, &cfg, t(0), vec![vm]);
+        let listed = eval.score(0, 0).value();
+        assert!((listed - clean - 25.0).abs() < 1e-9, "{listed} vs {clean}");
     }
 
     #[test]

@@ -199,8 +199,10 @@ impl Policy for ScoreScheduler {
             let sa = &cluster.host(a).spec;
             let sb = &cluster.host(b).spec;
             let rel = if fault_aware {
-                sb.reliability
-                    .partial_cmp(&sa.reliability)
+                // Effective reliability, so blacklisted hosts boot last.
+                cluster
+                    .effective_reliability(b)
+                    .partial_cmp(&cluster.effective_reliability(a))
                     .expect("reliability is finite")
             } else {
                 std::cmp::Ordering::Equal

@@ -75,12 +75,59 @@ pub enum AuditKind {
         /// The host.
         host: HostId,
     },
+    /// A VM creation aborted (dom0 failure); the VM returned to the queue.
+    CreationFailed {
+        /// The VM.
+        vm: VmId,
+        /// The host it was being created on.
+        host: HostId,
+    },
+    /// A live migration aborted; the VM stayed on the source.
+    MigrationAborted {
+        /// The VM.
+        vm: VmId,
+        /// The host it stayed on.
+        from: HostId,
+        /// The destination whose reservation was released.
+        to: HostId,
+    },
     /// A host crashed.
     HostFailed {
         /// The host.
         host: HostId,
         /// VMs displaced back to the queue.
         displaced: usize,
+    },
+    /// A host boot failed; the host must be repaired before retrying.
+    BootFailed {
+        /// The host.
+        host: HostId,
+    },
+    /// A transient slowdown episode began on a host.
+    SlowdownStarted {
+        /// The host.
+        host: HostId,
+        /// Effective-capacity multiplier during the episode.
+        factor: f64,
+    },
+    /// A slowdown episode ended; the host is back to nominal capacity.
+    SlowdownEnded {
+        /// The host.
+        host: HostId,
+    },
+    /// A correlated rack outage struck every powered host of one rack.
+    RackOutage {
+        /// The rack index (hosts `rack·size .. (rack+1)·size`).
+        rack: usize,
+        /// Hosts actually taken down (off hosts are unaffected).
+        failed: usize,
+    },
+    /// A flapping host was blacklisted (reliability penalty applied).
+    HostBlacklisted {
+        /// The host.
+        host: HostId,
+        /// Crashes it has accumulated.
+        crashes: u32,
     },
     /// A failed host became bootable again.
     HostRepaired {
@@ -121,8 +168,25 @@ impl AuditEvent {
             AuditKind::HostPoweringOn { host } => format!("{host} booting"),
             AuditKind::HostOn { host } => format!("{host} online"),
             AuditKind::HostPoweringOff { host } => format!("{host} shutting down"),
+            AuditKind::CreationFailed { vm, host } => {
+                format!("{vm} creation FAILED on {host}")
+            }
+            AuditKind::MigrationAborted { vm, from, to } => {
+                format!("{vm} migration {from} → {to} ABORTED")
+            }
             AuditKind::HostFailed { host, displaced } => {
                 format!("{host} FAILED ({displaced} VMs displaced)")
+            }
+            AuditKind::BootFailed { host } => format!("{host} boot FAILED"),
+            AuditKind::SlowdownStarted { host, factor } => {
+                format!("{host} slowed to {:.0}% capacity", factor * 100.0)
+            }
+            AuditKind::SlowdownEnded { host } => format!("{host} back to full speed"),
+            AuditKind::RackOutage { rack, failed } => {
+                format!("rack {rack} OUTAGE ({failed} hosts down)")
+            }
+            AuditKind::HostBlacklisted { host, crashes } => {
+                format!("{host} blacklisted after {crashes} crashes")
             }
             AuditKind::HostRepaired { host } => format!("{host} repaired"),
             AuditKind::LambdaAdjusted { lambda_min } => {
@@ -160,6 +224,40 @@ mod tests {
         assert_eq!(e.to_line(), "[1:30.000] vm3 migrating h0 → h2");
         let log = render_log(&[e]);
         assert_eq!(log.lines().count(), 1);
+    }
+
+    #[test]
+    fn fault_lines_are_human_readable() {
+        let line = |kind| {
+            AuditEvent {
+                at: SimTime::ZERO,
+                kind,
+            }
+            .to_line()
+        };
+        assert!(line(AuditKind::CreationFailed {
+            vm: VmId(1),
+            host: HostId(2),
+        })
+        .contains("vm1 creation FAILED on h2"));
+        assert!(line(AuditKind::MigrationAborted {
+            vm: VmId(1),
+            from: HostId(0),
+            to: HostId(3),
+        })
+        .contains("migration h0 → h3 ABORTED"));
+        assert!(line(AuditKind::BootFailed { host: HostId(4) }).contains("h4 boot FAILED"));
+        assert!(line(AuditKind::SlowdownStarted {
+            host: HostId(5),
+            factor: 0.5,
+        })
+        .contains("h5 slowed to 50% capacity"));
+        assert!(line(AuditKind::RackOutage { rack: 2, failed: 6 }).contains("rack 2 OUTAGE"));
+        assert!(line(AuditKind::HostBlacklisted {
+            host: HostId(9),
+            crashes: 3,
+        })
+        .contains("h9 blacklisted after 3 crashes"));
     }
 
     #[test]

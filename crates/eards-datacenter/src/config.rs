@@ -1,7 +1,23 @@
 //! Run configuration and the paper's reference datacenter.
 
-use eards_model::{HostClass, HostId, HostSpec};
+use eards_model::{FaultPlan, HostClass, HostId, HostSpec};
 use eards_sim::SimDuration;
+
+/// How aggressively the invariant auditor runs (see
+/// [`crate::InvariantAuditor`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AuditorMode {
+    /// No auditing (benchmarks that cannot afford the checks).
+    Off,
+    /// Always on (the default): a light conservation check after every
+    /// event batch, a deep structural verification periodically.
+    /// Violations are recorded in the report, never silently dropped.
+    #[default]
+    On,
+    /// Deep verification after every event batch, and panic on the first
+    /// violation — for CI smoke runs and debugging.
+    Strict,
+}
 
 /// Configuration of the adaptive λ controller — the "dynamically adjust
 /// these thresholds" future work of §V-A, implemented as a feedback loop:
@@ -69,7 +85,17 @@ pub struct RunConfig {
     /// Duration of one checkpoint write.
     pub checkpoint_duration: SimDuration,
     /// Inject host failures according to each host's reliability factor.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `with_faults(FaultPlan::crashes())` — the boolean only \
+                covers whole-host crashes"
+    )]
     pub failures: bool,
+    /// The fault-injection plan ([`FaultPlan::none`] by default). Set via
+    /// [`RunConfig::with_faults`].
+    pub faults: FaultPlan,
+    /// Invariant-auditor mode (always on by default).
+    pub auditor: AuditorMode,
     /// Time from failure to the host becoming bootable again.
     pub repair_time: SimDuration,
     /// Keep simulating after the last arrival until every job finishes,
@@ -87,6 +113,7 @@ pub struct RunConfig {
 }
 
 impl Default for RunConfig {
+    #[allow(deprecated)] // the deprecated field still needs initializing
     fn default() -> Self {
         RunConfig {
             lambda_min: 0.30,
@@ -102,6 +129,8 @@ impl Default for RunConfig {
             checkpoint_period: None,
             checkpoint_duration: SimDuration::from_secs(10),
             failures: false,
+            faults: FaultPlan::none(),
+            auditor: AuditorMode::On,
             repair_time: SimDuration::from_mins(30),
             drain_limit: SimDuration::from_days(2),
             record_power_series: false,
@@ -119,6 +148,33 @@ impl RunConfig {
         self.lambda_min = f64::from(lambda_min_pct) / 100.0;
         self.lambda_max = f64::from(lambda_max_pct) / 100.0;
         self
+    }
+
+    /// Sets the fault-injection plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Sets the invariant-auditor mode.
+    pub fn with_auditor(mut self, mode: AuditorMode) -> Self {
+        self.auditor = mode;
+        self
+    }
+
+    /// The fault plan the run actually uses: `faults`, with the deprecated
+    /// `failures` boolean folded in for backward compatibility (it maps to
+    /// reliability-driven host crashes repaired after `repair_time`, which
+    /// is exactly what the old flag did).
+    pub fn effective_faults(&self) -> FaultPlan {
+        let mut plan = self.faults.clone();
+        #[allow(deprecated)]
+        if self.failures {
+            plan.host_crashes = true;
+            plan.crash_mttf = None;
+            plan.mttr = self.repair_time;
+        }
+        plan
     }
 }
 
@@ -181,6 +237,27 @@ mod tests {
         assert_eq!(cfg.lambda_min, 0.30);
         assert_eq!(cfg.lambda_max, 0.90);
         assert_eq!(cfg.creation_jitter_std, 2.5);
-        assert!(!cfg.failures);
+        assert!(cfg.faults.is_none(), "no fault injection by default");
+        assert_eq!(cfg.auditor, AuditorMode::On, "auditor always on");
+    }
+
+    #[test]
+    fn with_faults_sets_the_plan() {
+        let cfg = RunConfig::default().with_faults(FaultPlan::chaos(1.0));
+        assert!(cfg.faults.host_crashes);
+        assert_eq!(cfg.effective_faults(), FaultPlan::chaos(1.0));
+    }
+
+    #[test]
+    #[allow(deprecated, clippy::field_reassign_with_default)]
+    fn legacy_failures_flag_maps_to_crash_plan() {
+        let mut cfg = RunConfig::default();
+        cfg.failures = true;
+        cfg.repair_time = SimDuration::from_hours(1);
+        let plan = cfg.effective_faults();
+        assert!(plan.host_crashes);
+        assert_eq!(plan.crash_mttf, None, "reliability-driven MTTF");
+        assert_eq!(plan.mttr, SimDuration::from_hours(1));
+        assert_eq!(plan.creation_failure_prob, 0.0);
     }
 }

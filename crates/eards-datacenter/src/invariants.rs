@@ -1,0 +1,232 @@
+//! The always-on invariant auditor.
+//!
+//! Fault injection multiplies the state-transition paths through the
+//! driver — crashes during migrations, aborts during repairs, shutdowns
+//! racing armed timers. The auditor re-validates conservation properties
+//! after **every** event batch so a bookkeeping bug surfaces at the event
+//! that introduced it, not as a mysteriously wrong table three simulated
+//! days later:
+//!
+//! * no VM is lost or duplicated (queued + placed + finished = admitted);
+//! * only ready hosts carry VMs or operations;
+//! * CPU allocations never exceed a host's effective capacity, and
+//!   committed memory never exceeds its physical memory;
+//! * power accounting agrees with host state (an unpowered host burns
+//!   no CPU);
+//! * fault timers only target hosts that are actually up (reported by the
+//!   driver, which owns the timers).
+//!
+//! The light pass is `O(hosts + VMs)` per batch; a deep structural pass
+//! ([`Cluster::verify`]) runs periodically — or after every batch in
+//! [`AuditorMode::Strict`], which also panics on the first violation
+//! (used by the CI chaos smoke run).
+
+use std::collections::HashSet;
+
+use eards_model::{Cluster, VmId};
+use eards_sim::SimTime;
+
+use crate::config::AuditorMode;
+
+/// Batches between deep [`Cluster::verify`] passes in [`AuditorMode::On`].
+const DEEP_PERIOD: u64 = 256;
+
+/// Maximum violation messages retained (the counter keeps counting).
+const MAX_MESSAGES: usize = 8;
+
+/// Validates cluster-wide conservation invariants as the run progresses.
+pub struct InvariantAuditor {
+    mode: AuditorMode,
+    checks: u64,
+    violations: u64,
+    messages: Vec<String>,
+    seen: HashSet<VmId>,
+}
+
+impl InvariantAuditor {
+    /// Builds an auditor in the given mode.
+    pub fn new(mode: AuditorMode) -> Self {
+        InvariantAuditor {
+            mode,
+            checks: 0,
+            violations: 0,
+            messages: Vec::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// True unless the auditor is [`AuditorMode::Off`].
+    pub fn enabled(&self) -> bool {
+        self.mode != AuditorMode::Off
+    }
+
+    /// Audit passes executed so far.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Violations detected so far.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// The first few violation messages, for reports and debugging.
+    pub fn messages(&self) -> &[String] {
+        &self.messages
+    }
+
+    /// Records a violation detected outside the cluster checks (e.g. the
+    /// driver's own timer bookkeeping). Panics in strict mode.
+    pub fn report(&mut self, at: SimTime, msg: String) {
+        let msg = format!("[{at}] {msg}");
+        if self.mode == AuditorMode::Strict {
+            panic!("invariant violated: {msg}");
+        }
+        self.violations += 1;
+        if self.messages.len() < MAX_MESSAGES {
+            self.messages.push(msg);
+        }
+    }
+
+    /// Runs one audit pass after an event batch. `finished` is the number
+    /// of VMs the driver has completed (they stay in the cluster's VM
+    /// table but reside nowhere).
+    pub fn check(&mut self, cluster: &Cluster, finished: u64, at: SimTime) {
+        if !self.enabled() {
+            return;
+        }
+        self.checks += 1;
+        if let Err(msg) = self.light_pass(cluster, finished) {
+            self.report(at, msg);
+        }
+        let deep = self.mode == AuditorMode::Strict || self.checks.is_multiple_of(DEEP_PERIOD);
+        if deep {
+            if let Err(msg) = cluster.verify() {
+                self.report(at, msg);
+            }
+        }
+    }
+
+    fn light_pass(&mut self, cluster: &Cluster, finished: u64) -> Result<(), String> {
+        self.seen.clear();
+        let mut placed = 0u64;
+        for h in cluster.hosts() {
+            let id = h.spec.id;
+            for &vm in &h.resident {
+                if !self.seen.insert(vm) {
+                    return Err(format!("{vm} resident on two hosts"));
+                }
+                placed += 1;
+            }
+            if !h.power.is_ready() && !h.is_idle() {
+                return Err(format!("{id} carries VMs/ops in state {:?}", h.power));
+            }
+            if !h.power.draws_power() && cluster.cpu_used(id) != 0.0 {
+                return Err(format!("unpowered {id} accounts nonzero CPU"));
+            }
+            let alloc: f64 = h.resident.iter().map(|&vm| cluster.vm(vm).alloc).sum();
+            let capacity = h.spec.cpu.as_f64() * h.cpu_factor;
+            if alloc > capacity + 1e-6 {
+                return Err(format!(
+                    "{id} CPU oversubscribed: {alloc:.3} allocated on {capacity:.3}"
+                ));
+            }
+            if cluster.committed(id).mem > h.spec.capacity().mem {
+                return Err(format!("{id} memory oversubscribed"));
+            }
+        }
+        let admitted = cluster.num_vms() as u64;
+        let accounted = cluster.queue().len() as u64 + placed + finished;
+        if accounted != admitted {
+            return Err(format!(
+                "VM conservation broken: {} queued + {placed} placed + {finished} finished \
+                 != {admitted} admitted",
+                cluster.queue().len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eards_model::{Cluster, Cpu, HostClass, HostId, HostSpec, Job, JobId, Mem, PowerState};
+    use eards_sim::SimDuration;
+
+    fn cluster(n: u32) -> Cluster {
+        let specs = (0..n)
+            .map(|i| HostSpec::standard(HostId(i), HostClass::Medium))
+            .collect();
+        Cluster::new(specs, PowerState::On)
+    }
+
+    fn submit(c: &mut Cluster, id: u64) -> VmId {
+        c.submit_job(Job::new(
+            JobId(id),
+            SimTime::ZERO,
+            Cpu(100),
+            Mem::gib(1),
+            SimDuration::from_secs(100),
+            1.5,
+        ))
+    }
+
+    #[test]
+    fn clean_cluster_passes() {
+        let mut c = cluster(2);
+        let vm = submit(&mut c, 1);
+        c.start_creation(vm, HostId(0), SimTime::ZERO, SimTime::from_secs(40));
+        let mut a = InvariantAuditor::new(AuditorMode::On);
+        a.check(&c, 0, SimTime::ZERO);
+        assert_eq!(a.checks(), 1);
+        assert_eq!(a.violations(), 0);
+    }
+
+    #[test]
+    fn off_mode_does_nothing() {
+        let c = cluster(1);
+        let mut a = InvariantAuditor::new(AuditorMode::Off);
+        assert!(!a.enabled());
+        a.check(&c, 5, SimTime::ZERO); // wrong `finished` would trip a check
+        assert_eq!(a.checks(), 0);
+        assert_eq!(a.violations(), 0);
+    }
+
+    #[test]
+    fn lost_vm_is_detected() {
+        let mut c = cluster(1);
+        submit(&mut c, 1);
+        let mut a = InvariantAuditor::new(AuditorMode::On);
+        // Claim one VM finished while it still sits in the queue: the
+        // conservation count comes out wrong.
+        a.check(&c, 1, SimTime::ZERO);
+        assert_eq!(a.violations(), 1);
+        assert!(
+            a.messages()[0].contains("conservation"),
+            "{:?}",
+            a.messages()
+        );
+    }
+
+    #[test]
+    fn strict_mode_panics() {
+        let c = cluster(1);
+        let mut a = InvariantAuditor::new(AuditorMode::Strict);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            a.check(&c, 3, SimTime::ZERO)
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn message_cap_holds_while_counter_counts() {
+        let c = cluster(1);
+        let mut a = InvariantAuditor::new(AuditorMode::On);
+        for _ in 0..20 {
+            a.check(&c, 1, SimTime::ZERO);
+        }
+        assert_eq!(a.violations(), 20);
+        assert_eq!(a.messages().len(), MAX_MESSAGES);
+    }
+}

@@ -12,6 +12,9 @@
 //!   optional failure injection and dynamic SLA enforcement.
 //! * [`RunConfig`] / [`paper_datacenter`] — the paper's §V setup (100
 //!   nodes: 15 fast / 50 medium / 35 slow).
+//! * [`FaultEngine`] / [`InvariantAuditor`] — the chaos layer: pluggable
+//!   fault injection ([`eards_model::FaultPlan`]) with per-host, per-class
+//!   RNG streams, and an always-on conservation auditor.
 //! * [`run_sweep`] / [`lambda_grid`] — crossbeam-parallel parameter
 //!   sweeps for the Figure 2/3 threshold surfaces.
 
@@ -19,10 +22,14 @@
 
 mod audit;
 mod config;
+mod faults;
+mod invariants;
 mod runner;
 mod sweep;
 
 pub use audit::{render_log, AuditEvent, AuditKind};
-pub use config::{paper_datacenter, small_datacenter, AdaptiveLambda, RunConfig};
+pub use config::{paper_datacenter, small_datacenter, AdaptiveLambda, AuditorMode, RunConfig};
+pub use faults::FaultEngine;
+pub use invariants::InvariantAuditor;
 pub use runner::Runner;
 pub use sweep::{lambda_grid, run_sweep, SweepPoint};

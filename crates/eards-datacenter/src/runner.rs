@@ -19,7 +19,9 @@
 
 use std::collections::HashMap;
 
-use eards_metrics::{delay_pct, satisfaction, JobOutcome, RunReport, TimeSeries, TimeWeighted};
+use eards_metrics::{
+    delay_pct, satisfaction, FaultStats, JobOutcome, RunReport, TimeSeries, TimeWeighted,
+};
 use eards_model::{
     Action, CalibratedPowerModel, Cluster, HostId, HostSpec, Job, Policy, PowerModel, PowerState,
     ScheduleContext, ScheduleReason, VmId, VmState,
@@ -29,6 +31,8 @@ use eards_workload::Trace;
 
 use crate::audit::{AuditEvent, AuditKind};
 use crate::config::RunConfig;
+use crate::faults::FaultEngine;
+use crate::invariants::InvariantAuditor;
 
 /// Events of the datacenter simulation.
 #[derive(Debug, Clone, Copy)]
@@ -51,6 +55,21 @@ enum Event {
     HostFailure(HostId),
     /// A failed host becomes bootable again.
     HostRepaired(HostId),
+    /// A doomed VM creation aborts partway through. `ends` is the end
+    /// time of the operation this event belongs to — its identity token
+    /// against stale events (the abort fires *before* `ends`, so the
+    /// `o.ends == now` guard of the Done events cannot be used).
+    CreationAborted(VmId, SimTime),
+    /// A doomed live migration aborts partway through (`ends` as above).
+    MigrationAborted(VmId, SimTime),
+    /// A transient slowdown episode starts on a host.
+    SlowdownStart(HostId),
+    /// The host's slowdown episode ends.
+    SlowdownEnd(HostId),
+    /// A correlated outage strikes one rack (index into the rack grid).
+    RackOutage(usize),
+    /// A failed VM's retry backoff expires; reschedule it.
+    RetryRelease(VmId),
     /// Periodic SLA-projection check.
     SlaCheck,
     /// Periodic consolidation round (migration re-evaluation).
@@ -74,10 +93,22 @@ pub struct Runner {
     rng: SimRng,
     completion: HashMap<VmId, EventHandle>,
     failure_timer: HashMap<HostId, EventHandle>,
-    /// One RNG stream per host for failure sampling, independent of the
-    /// main stream: two runs that keep a host up for the same intervals
-    /// see the same failures regardless of what else they randomize.
-    failure_rng: Vec<SimRng>,
+    /// The pending slowdown-start *or* slowdown-end timer of each host.
+    slowdown_timer: HashMap<HostId, EventHandle>,
+    /// Per-host, per-class fault streams (see [`FaultEngine`]): two runs
+    /// that keep a host up for the same intervals see the same faults on
+    /// it regardless of what else they randomize.
+    faults: FaultEngine,
+    /// Retry backoff state of VMs whose creation/migration failed.
+    retry: HashMap<VmId, RetryState>,
+    /// Crashes accumulated per host (feeds the flapping blacklist).
+    crash_counts: Vec<u32>,
+    /// When each currently-unrecovered VM was displaced or failed
+    /// (cleared on successful restart; feeds time-to-recover).
+    displaced_at: HashMap<VmId, SimTime>,
+    auditor: InvariantAuditor,
+    fstats: FaultStats,
+    recovery_total_secs: f64,
 
     power_series: TimeSeries,
     power_tw: TimeWeighted,
@@ -99,6 +130,16 @@ pub struct Runner {
     /// (the set is rebuilt every `adjust_power` pass; the allocation
     /// is not).
     power_scratch: Vec<HostId>,
+}
+
+/// Exponential-backoff state of one VM whose creation or migration
+/// failed.
+#[derive(Clone, Copy)]
+struct RetryState {
+    /// Consecutive failures so far.
+    attempts: u32,
+    /// The VM may not be retried before this instant.
+    eligible: SimTime,
 }
 
 impl Runner {
@@ -129,9 +170,9 @@ impl Runner {
     ) -> Self {
         let label = policy.name();
         let rng = SimRng::seed_from_u64(cfg.seed);
-        let failure_rng: Vec<SimRng> = (0..hosts.len())
-            .map(|i| SimRng::seed_from_u64(cfg.seed ^ 0xFA11 ^ ((i as u64) << 17)))
-            .collect();
+        let faults = FaultEngine::new(cfg.effective_faults(), hosts.len(), cfg.seed);
+        let auditor = InvariantAuditor::new(cfg.auditor);
+        let crash_counts = vec![0; hosts.len()];
         Runner {
             cluster: Cluster::new(hosts, PowerState::Off),
             policy,
@@ -143,7 +184,14 @@ impl Runner {
             rng,
             completion: HashMap::new(),
             failure_timer: HashMap::new(),
-            failure_rng,
+            slowdown_timer: HashMap::new(),
+            faults,
+            retry: HashMap::new(),
+            crash_counts,
+            displaced_at: HashMap::new(),
+            auditor,
+            fstats: FaultStats::default(),
+            recovery_total_secs: 0.0,
             power_series: TimeSeries::new(),
             power_tw: TimeWeighted::new(SimTime::ZERO, 0.0),
             working_tw: TimeWeighted::new(SimTime::ZERO, 0.0),
@@ -201,6 +249,14 @@ impl Runner {
             self.cluster.begin_power_on(h, SimTime::ZERO);
             self.cluster.complete_power_on(h);
             self.arm_failure(h);
+            self.arm_slowdown(h);
+        }
+        // Rack-outage timers run for the whole simulation: an outage can
+        // strike whatever happens to be powered when it fires.
+        for r in 0..self.faults.num_racks() {
+            if let Some(dt) = self.faults.time_to_rack_outage(r) {
+                self.sim.schedule_after(dt, Event::RackOutage(r));
+            }
         }
 
         for (idx, job) in self.jobs.iter().enumerate() {
@@ -239,6 +295,7 @@ impl Runner {
                 self.adjust_power(now);
             }
             self.record_metrics();
+            self.audit_invariants(now);
             if self.finished() {
                 break;
             }
@@ -279,6 +336,8 @@ impl Runner {
                 self.cluster.finish_creation(vm, now);
                 let host = self.cluster.vm(vm).host.expect("created VM has a host");
                 self.note(now, AuditKind::VmStarted { vm, host });
+                self.retry.remove(&vm);
+                self.record_recovery(vm, now);
                 self.touch(host, now);
                 self.complete_if_done(vm, now);
                 Some(ScheduleReason::VmFinished)
@@ -306,6 +365,7 @@ impl Runner {
                 self.cluster.finish_migration(vm, now);
                 let to = self.cluster.vm(vm).host.expect("migrated VM has a host");
                 self.note(now, AuditKind::MigrationFinished { vm, to });
+                self.retry.remove(&vm);
                 self.touch(from, now);
                 self.touch(to, now);
                 self.complete_if_done(vm, now);
@@ -357,9 +417,18 @@ impl Runner {
             }
             Event::BootDone(h) => {
                 if matches!(self.cluster.host(h).power, PowerState::Booting { .. }) {
-                    self.cluster.complete_power_on(h);
-                    self.note(now, AuditKind::HostOn { host: h });
-                    self.arm_failure(h);
+                    if self.faults.boot_fails(h.raw() as usize) {
+                        self.cluster.fail_boot(h);
+                        self.note(now, AuditKind::BootFailed { host: h });
+                        self.fstats.boot_failures += 1;
+                        let mttr = self.faults.plan().mttr;
+                        self.sim.schedule_after(mttr, Event::HostRepaired(h));
+                    } else {
+                        self.cluster.complete_power_on(h);
+                        self.note(now, AuditKind::HostOn { host: h });
+                        self.arm_failure(h);
+                        self.arm_slowdown(h);
+                    }
                     Some(ScheduleReason::HostStateChanged)
                 } else {
                     None
@@ -376,29 +445,139 @@ impl Runner {
                 if self.cluster.host(h).power != PowerState::On {
                     return None;
                 }
-                let displaced = self.cluster.fail_host(h, now);
-                self.note(
-                    now,
-                    AuditKind::HostFailed {
-                        host: h,
-                        displaced: displaced.len(),
-                    },
-                );
-                self.vms_displaced += displaced.len() as u64;
-                for vm in displaced {
-                    if let Some(handle) = self.completion.remove(&vm) {
-                        self.sim.cancel(handle);
-                    }
-                }
-                self.host_failures += 1;
-                self.sim
-                    .schedule_after(self.cfg.repair_time, Event::HostRepaired(h));
+                let mttr = self.faults.plan().mttr;
+                self.crash_host(h, now, mttr);
                 Some(ScheduleReason::HostStateChanged)
             }
             Event::HostRepaired(h) => {
                 self.cluster.repair_host(h);
                 self.note(now, AuditKind::HostRepaired { host: h });
                 Some(ScheduleReason::HostStateChanged)
+            }
+            Event::CreationAborted(vm, ends) => {
+                if self.cluster.vm(vm).state != VmState::Creating {
+                    return None; // the host failed first; already re-queued
+                }
+                // Stale-event guard: only the abort belonging to the live
+                // operation (matching end time) may kill it.
+                let host = self.cluster.vm(vm).host.expect("creating VM has a host");
+                let live =
+                    self.cluster.host(host).ops.iter().any(|o| {
+                        o.vm == vm && o.kind == eards_model::OpKind::Create && o.ends == ends
+                    });
+                if !live {
+                    return None;
+                }
+                self.cluster.abort_creation(vm, now);
+                self.note(now, AuditKind::CreationFailed { vm, host });
+                self.fstats.creation_failures += 1;
+                // The recovery clock starts at the first failure and runs
+                // until the VM finally comes up somewhere.
+                self.displaced_at.entry(vm).or_insert(now);
+                self.apply_backoff(vm, now);
+                self.touch(host, now);
+                Some(ScheduleReason::VmArrived)
+            }
+            Event::MigrationAborted(vm, ends) => {
+                let to = match self.cluster.vm(vm).state {
+                    VmState::Migrating { to } => to,
+                    _ => return None, // an endpoint failed first
+                };
+                let from = self.cluster.vm(vm).host.expect("migrating VM has a host");
+                let live = self.cluster.host(to).ops.iter().any(|o| {
+                    o.vm == vm
+                        && matches!(o.kind, eards_model::OpKind::MigrateIn { .. })
+                        && o.ends == ends
+                });
+                if !live {
+                    return None;
+                }
+                self.cluster.abort_migration(vm, now);
+                self.note(now, AuditKind::MigrationAborted { vm, from, to });
+                self.fstats.migration_aborts += 1;
+                self.apply_backoff(vm, now);
+                self.touch(from, now);
+                self.touch(to, now);
+                Some(ScheduleReason::HostStateChanged)
+            }
+            Event::SlowdownStart(h) => {
+                self.slowdown_timer.remove(&h);
+                if self.cluster.host(h).power != PowerState::On {
+                    return None; // episode cancelled with the host
+                }
+                let sp = self
+                    .faults
+                    .plan()
+                    .slowdown
+                    .clone()
+                    .expect("event only scheduled with a slowdown plan");
+                self.cluster.set_cpu_factor(h, sp.factor);
+                self.note(
+                    now,
+                    AuditKind::SlowdownStarted {
+                        host: h,
+                        factor: sp.factor,
+                    },
+                );
+                self.fstats.slowdown_episodes += 1;
+                let handle = self.sim.schedule_after(sp.duration, Event::SlowdownEnd(h));
+                self.slowdown_timer.insert(h, handle);
+                self.touch(h, now);
+                Some(ScheduleReason::HostStateChanged)
+            }
+            Event::SlowdownEnd(h) => {
+                self.slowdown_timer.remove(&h);
+                if self.cluster.host(h).power != PowerState::On {
+                    return None;
+                }
+                self.cluster.set_cpu_factor(h, 1.0);
+                self.note(now, AuditKind::SlowdownEnded { host: h });
+                self.touch(h, now);
+                self.arm_slowdown(h);
+                Some(ScheduleReason::HostStateChanged)
+            }
+            Event::RackOutage(r) => {
+                let (size, outage) = {
+                    let rp = self
+                        .faults
+                        .plan()
+                        .rack
+                        .as_ref()
+                        .expect("event only scheduled with a rack plan");
+                    (rp.rack_size, rp.outage)
+                };
+                let lo = r * size;
+                let hi = (lo + size).min(self.cluster.num_hosts());
+                let failed = (lo..hi)
+                    .filter(|&i| self.cluster.host(HostId(i as u32)).power.is_online())
+                    .count();
+                self.fstats.rack_outages += 1;
+                self.note(now, AuditKind::RackOutage { rack: r, failed });
+                for i in lo..hi {
+                    let h = HostId(i as u32);
+                    match self.cluster.host(h).power {
+                        PowerState::On => self.crash_host(h, now, outage),
+                        PowerState::Booting { .. } => {
+                            // The boot is struck down with the rack.
+                            self.cancel_fault_timers(h);
+                            self.cluster.fail_boot(h);
+                            self.note(now, AuditKind::BootFailed { host: h });
+                            self.fstats.boot_failures += 1;
+                            self.sim.schedule_after(outage, Event::HostRepaired(h));
+                        }
+                        _ => {} // unpowered hosts are unaffected
+                    }
+                }
+                // Re-arm: the rack can fail again later.
+                if let Some(dt) = self.faults.time_to_rack_outage(r) {
+                    self.sim.schedule_after(dt, Event::RackOutage(r));
+                }
+                (failed > 0).then_some(ScheduleReason::HostStateChanged)
+            }
+            Event::RetryRelease(vm) => {
+                // The backoff expired; if the VM is still waiting, give the
+                // policy a chance to place it again.
+                (self.cluster.vm(vm).state == VmState::Queued).then_some(ScheduleReason::VmArrived)
             }
             Event::SlaCheck => {
                 let mut violated = false;
@@ -504,12 +683,31 @@ impl Runner {
                     {
                         continue; // stale decision; the VM stays queued
                     }
+                    // Retry gate: a VM whose last attempt failed waits out
+                    // its backoff in the queue.
+                    if let Some(r) = self.retry.get(&vm) {
+                        if r.eligible > now {
+                            continue;
+                        }
+                    }
                     let mean = self.cluster.host(host).spec.class.creation_cost();
                     let dur = self.op_duration(mean, self.cfg.creation_jitter_std);
                     let ends = now + dur;
+                    // Doomed operations are drawn at start: they schedule
+                    // their abort instead of their completion.
+                    let doomed = self.faults.creation_fails(host.raw() as usize);
                     self.cluster.start_creation(vm, host, now, ends);
                     self.note(now, AuditKind::CreationStarted { vm, host });
-                    self.sim.schedule_at(ends, Event::CreationDone(vm));
+                    match doomed {
+                        Some(frac) => {
+                            let abort_at = now + dur.mul_f64(frac);
+                            self.sim
+                                .schedule_at(abort_at, Event::CreationAborted(vm, ends));
+                        }
+                        None => {
+                            self.sim.schedule_at(ends, Event::CreationDone(vm));
+                        }
+                    }
                     self.touch(host, now);
                     self.creations += 1;
                 }
@@ -522,14 +720,29 @@ impl Runner {
                     {
                         continue;
                     }
+                    if let Some(r) = self.retry.get(&vm) {
+                        if r.eligible > now {
+                            continue; // backing off after an aborted attempt
+                        }
+                    }
                     let from = v.host.expect("running VM has a host");
                     // Migration cost is the destination's (§V: C_m by class).
                     let mean = self.cluster.host(to).spec.class.migration_cost();
                     let dur = self.op_duration(mean, self.cfg.migration_jitter_std);
                     let ends = now + dur;
+                    let doomed = self.faults.migration_aborts(to.raw() as usize);
                     self.cluster.start_migration(vm, to, now, ends);
                     self.note(now, AuditKind::MigrationStarted { vm, from, to });
-                    self.sim.schedule_at(ends, Event::MigrationDone(vm));
+                    match doomed {
+                        Some(frac) => {
+                            let abort_at = now + dur.mul_f64(frac);
+                            self.sim
+                                .schedule_at(abort_at, Event::MigrationAborted(vm, ends));
+                        }
+                        None => {
+                            self.sim.schedule_at(ends, Event::MigrationDone(vm));
+                        }
+                    }
                     self.touch(from, now);
                     self.touch(to, now);
                     self.migrations += 1;
@@ -642,9 +855,9 @@ impl Runner {
                 break;
             }
             let pick = self.policy.rank_power_off(&self.cluster, now, &candidates)[0];
-            if let Some(handle) = self.failure_timer.remove(&pick) {
-                self.sim.cancel(handle);
-            }
+            // Disarm crash/slowdown timers with the host: a failure must
+            // never fire on a host that is no longer up.
+            self.cancel_fault_timers(pick);
             let off_at = self.cluster.begin_power_off(pick, now);
             self.note(now, AuditKind::HostPoweringOff { host: pick });
             self.sim.schedule_at(off_at, Event::ShutdownDone(pick));
@@ -671,22 +884,139 @@ impl Runner {
         })
     }
 
+    // ----- fault handling ---------------------------------------------------
+
     /// Arms the failure timer for a freshly-up host.
     fn arm_failure(&mut self, h: HostId) {
-        if !self.cfg.failures {
-            return;
-        }
         let rel = self.cluster.host(h).spec.reliability;
-        if rel >= 1.0 {
+        if let Some(ttf) = self.faults.time_to_crash(h.raw() as usize, rel) {
+            let handle = self.sim.schedule_after(ttf, Event::HostFailure(h));
+            self.failure_timer.insert(h, handle);
+        }
+    }
+
+    /// Arms the next slowdown-episode timer for a freshly-up host (or one
+    /// whose episode just ended).
+    fn arm_slowdown(&mut self, h: HostId) {
+        if let Some(dt) = self.faults.time_to_slowdown(h.raw() as usize) {
+            let handle = self.sim.schedule_after(dt, Event::SlowdownStart(h));
+            self.slowdown_timer.insert(h, handle);
+        }
+    }
+
+    /// Cancels every armed fault timer of a host and lifts an active
+    /// slowdown. Runs on **every** path that takes the host out of `On`
+    /// (crash, rack outage, planned shutdown): a stale crash timer firing
+    /// on an already-off host would corrupt the power accounting.
+    fn cancel_fault_timers(&mut self, h: HostId) {
+        if let Some(handle) = self.failure_timer.remove(&h) {
+            self.sim.cancel(handle);
+        }
+        if let Some(handle) = self.slowdown_timer.remove(&h) {
+            self.sim.cancel(handle);
+        }
+        if self.cluster.host(h).cpu_factor != 1.0 {
+            self.cluster.set_cpu_factor(h, 1.0);
+        }
+    }
+
+    /// Crashes an `On` host: displaces its VMs back to the queue, counts
+    /// it toward the flapping blacklist, and schedules the repair.
+    fn crash_host(&mut self, h: HostId, now: SimTime, repair_after: SimDuration) {
+        self.cancel_fault_timers(h);
+        let displaced = self.cluster.fail_host(h, now);
+        self.note(
+            now,
+            AuditKind::HostFailed {
+                host: h,
+                displaced: displaced.len(),
+            },
+        );
+        self.vms_displaced += displaced.len() as u64;
+        for vm in displaced {
+            if let Some(handle) = self.completion.remove(&vm) {
+                self.sim.cancel(handle);
+            }
+            // A crash resets the retry ladder — the VM did nothing wrong —
+            // but starts (or keeps) its recovery clock.
+            self.retry.remove(&vm);
+            self.displaced_at.entry(vm).or_insert(now);
+        }
+        self.host_failures += 1;
+        let idx = h.raw() as usize;
+        self.crash_counts[idx] += 1;
+        let (after, penalty) = {
+            let r = &self.faults.plan().recovery;
+            (r.blacklist_after, r.blacklist_penalty)
+        };
+        if after > 0 && self.crash_counts[idx] == after && !self.cluster.is_blacklisted(h) {
+            self.cluster.blacklist(h, penalty);
+            self.fstats.hosts_blacklisted += 1;
+            self.note(
+                now,
+                AuditKind::HostBlacklisted {
+                    host: h,
+                    crashes: self.crash_counts[idx],
+                },
+            );
+        }
+        self.sim
+            .schedule_after(repair_after, Event::HostRepaired(h));
+    }
+
+    /// Bumps a VM's retry ladder after a failed creation/migration and
+    /// schedules its release. The VM stays in the queue (respectively on
+    /// its source host); [`Runner::schedule_round`] refuses to act on it
+    /// until the backoff expires.
+    fn apply_backoff(&mut self, vm: VmId, now: SimTime) {
+        let attempts = {
+            let entry = self.retry.entry(vm).or_insert(RetryState {
+                attempts: 0,
+                eligible: now,
+            });
+            entry.attempts += 1;
+            entry.attempts
+        };
+        let backoff = self.faults.plan().recovery.backoff(attempts);
+        self.retry.get_mut(&vm).expect("just inserted").eligible = now + backoff;
+        self.fstats.retries_delayed += 1;
+        self.sim.schedule_after(backoff, Event::RetryRelease(vm));
+    }
+
+    /// Closes a VM's recovery interval if one is open (it was displaced or
+    /// its creation failed, and it just came up).
+    fn record_recovery(&mut self, vm: VmId, now: SimTime) {
+        if let Some(t0) = self.displaced_at.remove(&vm) {
+            let dt = now.saturating_since(t0).as_secs_f64();
+            self.fstats.recoveries += 1;
+            self.recovery_total_secs += dt;
+            if dt > self.fstats.max_recovery_secs {
+                self.fstats.max_recovery_secs = dt;
+            }
+        }
+    }
+
+    /// Runs the invariant auditor after an event batch, including the
+    /// driver-side check that fault timers only target hosts that are up.
+    fn audit_invariants(&mut self, now: SimTime) {
+        if !self.auditor.enabled() {
             return;
         }
-        // Availability = MTTF / (MTTF + MTTR) ⇒ MTTF = MTTR·rel/(1−rel).
-        let mttf = self.cfg.repair_time.as_secs_f64() * rel / (1.0 - rel);
-        let ttf = self.failure_rng[h.raw() as usize].exponential(1.0 / mttf.max(1.0));
-        let handle = self
-            .sim
-            .schedule_after(SimDuration::from_secs_f64(ttf), Event::HostFailure(h));
-        self.failure_timer.insert(h, handle);
+        let mut timer_violation: Option<String> = None;
+        for (&h, _) in self.failure_timer.iter().chain(self.slowdown_timer.iter()) {
+            if self.cluster.host(h).power != PowerState::On {
+                timer_violation = Some(format!(
+                    "fault timer armed on {h} in state {:?}",
+                    self.cluster.host(h).power
+                ));
+                break;
+            }
+        }
+        if let Some(msg) = timer_violation {
+            self.auditor.report(now, msg);
+        }
+        self.auditor
+            .check(&self.cluster, self.jobs_done as u64, now);
     }
 
     // ----- execution bookkeeping --------------------------------------------
@@ -787,6 +1117,12 @@ impl Runner {
     }
 
     fn finalize(mut self, end: SimTime) -> RunReport {
+        // One last deep structural pass before the books close.
+        if self.auditor.enabled() {
+            if let Err(msg) = self.cluster.verify() {
+                self.auditor.report(end, msg);
+            }
+        }
         // Jobs still in flight at the horizon count as unfinished.
         let mut unfinished: Vec<VmId> = self
             .cluster
@@ -811,6 +1147,11 @@ impl Runner {
         report.creations = self.creations;
         report.host_failures = self.host_failures;
         report.vms_displaced = self.vms_displaced;
+        self.fstats.mean_recovery_secs =
+            self.recovery_total_secs / self.fstats.recoveries.max(1) as f64;
+        self.fstats.invariant_checks = self.auditor.checks();
+        self.fstats.invariant_violations = self.auditor.violations();
+        report.faults = self.fstats;
         report.power_watts = self.power_series;
         report.jobs = self.outcomes;
         report.finalize_jobs();

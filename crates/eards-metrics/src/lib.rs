@@ -27,7 +27,7 @@ mod table;
 
 pub use ascii::{bar_chart, heatmap, sparkline, sparkline_fit};
 pub use economics::{EconomicReport, PricingModel};
-pub use report::{pct_change, JobOutcome, RunReport};
+pub use report::{pct_change, FaultStats, JobOutcome, RunReport};
 pub use satisfaction::{delay_pct, satisfaction};
 pub use series::{SeriesPoint, TimeSeries, TimeWeighted};
 pub use summary::{percentile, Summary};

@@ -33,6 +33,36 @@ pub struct JobOutcome {
     pub work_cpu_hours: f64,
 }
 
+/// Fault-injection and recovery counters of one run. All zero when the
+/// run injects no faults.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultStats {
+    /// Host boots that failed (host landed in the failed state).
+    pub boot_failures: u64,
+    /// VM creations that aborted partway through.
+    pub creation_failures: u64,
+    /// Live migrations that aborted partway through.
+    pub migration_aborts: u64,
+    /// Transient slowdown episodes started.
+    pub slowdown_episodes: u64,
+    /// Correlated rack outages fired.
+    pub rack_outages: u64,
+    /// Retries that were delayed by the exponential-backoff gate.
+    pub retries_delayed: u64,
+    /// Hosts blacklisted as flapping at least once.
+    pub hosts_blacklisted: u64,
+    /// Displaced or failed VMs that eventually restarted somewhere.
+    pub recoveries: u64,
+    /// Mean time from displacement to the successful restart, seconds.
+    pub mean_recovery_secs: f64,
+    /// Worst time from displacement to the successful restart, seconds.
+    pub max_recovery_secs: f64,
+    /// Invariant-auditor passes executed during the run.
+    pub invariant_checks: u64,
+    /// Invariant violations the auditor detected (must be 0).
+    pub invariant_violations: u64,
+}
+
 /// Aggregated result of one simulation run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -64,6 +94,8 @@ pub struct RunReport {
     pub jobs_total: u64,
     /// Jobs completed by the horizon.
     pub jobs_completed: u64,
+    /// Fault-injection and recovery counters (all zero without faults).
+    pub faults: FaultStats,
     /// Datacenter power draw over time (Watts), for plotting/validation.
     pub power_watts: TimeSeries,
     /// Per-job outcomes.
@@ -109,6 +141,7 @@ impl RunReport {
             vms_displaced: 0,
             jobs_total: 0,
             jobs_completed: 0,
+            faults: FaultStats::default(),
             power_watts: TimeSeries::new(),
             jobs: Vec::new(),
         }

@@ -43,6 +43,12 @@ pub struct Host {
     pub incoming: Vec<VmId>,
     /// In-flight virtualization operations touching this host.
     pub ops: Vec<InFlightOp>,
+    /// Effective-capacity multiplier in `(0, 1]`; below 1 during a
+    /// transient slowdown episode (thermal throttling, noisy dom0).
+    pub cpu_factor: f64,
+    /// Reliability penalty applied on top of the spec reliability while
+    /// the host is blacklisted as flapping; 0 otherwise.
+    pub reliability_penalty: f64,
 }
 
 impl Host {
@@ -53,6 +59,8 @@ impl Host {
             resident: Vec::new(),
             incoming: Vec::new(),
             ops: Vec::new(),
+            cpu_factor: 1.0,
+            reliability_penalty: 0.0,
         }
     }
 
@@ -163,6 +171,11 @@ impl Cluster {
         self.vms.values()
     }
 
+    /// Total VMs ever admitted (including finished ones).
+    pub fn num_vms(&self) -> usize {
+        self.vms.len()
+    }
+
     /// The virtual-host queue, in arrival order.
     pub fn queue(&self) -> &[VmId] {
         &self.queue
@@ -176,6 +189,20 @@ impl Cluster {
     /// Number of hosts currently online (on or booting).
     pub fn online_count(&self) -> usize {
         self.hosts.iter().filter(|h| h.power.is_online()).count()
+    }
+
+    /// Reliability of a host as the score engine should see it: the spec
+    /// reliability minus any flapping-blacklist penalty. Equal to the raw
+    /// spec value (bit-exact: `r − 0.0`) while the host is not
+    /// blacklisted.
+    pub fn effective_reliability(&self, host: HostId) -> f64 {
+        let h = self.host(host);
+        (h.spec.reliability - h.reliability_penalty).max(0.0)
+    }
+
+    /// True if the host currently carries a flapping-blacklist penalty.
+    pub fn is_blacklisted(&self, host: HostId) -> bool {
+        self.host(host).reliability_penalty > 0.0
     }
 
     // ----- resource accounting -------------------------------------------
@@ -302,6 +329,21 @@ impl Cluster {
             .retain(|o| !(o.vm == vm && o.kind == OpKind::Create));
     }
 
+    /// Aborts an in-flight creation (dom0 failure): the VM returns to the
+    /// virtual-host queue as if never placed, ready to be retried.
+    pub fn abort_creation(&mut self, vm: VmId, now: SimTime) {
+        let v = self.vms.get_mut(&vm).expect("unknown VmId");
+        assert_eq!(v.state, VmState::Creating, "only creating VMs abort");
+        let host = v.host.take().expect("creating VM must have a host");
+        v.state = VmState::Queued;
+        v.alloc = 0.0;
+        v.last_update = now;
+        let h = &mut self.hosts[host.raw() as usize];
+        h.resident.retain(|&r| r != vm);
+        h.ops.retain(|o| !(o.vm == vm && o.kind == OpKind::Create));
+        self.queue.push(vm);
+    }
+
     /// Starts a live migration of `vm` to `to`. Resources are reserved on
     /// the destination; the VM keeps running on the source; both endpoints
     /// pay a CPU overhead until `ends`.
@@ -353,6 +395,28 @@ impl Cluster {
         th.resident.push(vm);
         th.ops
             .retain(|o| !(o.vm == vm && matches!(o.kind, OpKind::MigrateIn { .. })));
+    }
+
+    /// Aborts an in-flight migration (page-copy failure): the reservation
+    /// on the destination is released and the VM keeps running on the
+    /// source, where it executed all along.
+    pub fn abort_migration(&mut self, vm: VmId, now: SimTime) {
+        let v = self.vms.get_mut(&vm).expect("unknown VmId");
+        let to = match v.state {
+            VmState::Migrating { to } => to,
+            s => panic!("abort_migration on VM in state {s:?}"),
+        };
+        let from = v.host.expect("migrating VM must have a source");
+        // The VM executed on the source throughout: bank that progress.
+        v.advance_progress(now);
+        v.state = VmState::Running;
+        let th = &mut self.hosts[to.raw() as usize];
+        th.incoming.retain(|&r| r != vm);
+        th.ops
+            .retain(|o| !(o.vm == vm && matches!(o.kind, OpKind::MigrateIn { .. })));
+        let fh = &mut self.hosts[from.raw() as usize];
+        fh.ops
+            .retain(|o| !(o.vm == vm && matches!(o.kind, OpKind::MigrateOut { .. })));
     }
 
     /// Starts a checkpoint of a running VM.
@@ -489,11 +553,41 @@ impl Cluster {
         requeued
     }
 
+    /// Fails a boot in progress: the host lands in the failed state (it
+    /// must be repaired before the next boot attempt). Booting hosts carry
+    /// no VMs, so nothing is displaced.
+    pub fn fail_boot(&mut self, host: HostId) {
+        let h = &mut self.hosts[host.raw() as usize];
+        assert!(
+            matches!(h.power, PowerState::Booting { .. }),
+            "fail_boot on non-booting host"
+        );
+        assert!(h.is_idle(), "booting host cannot carry VMs");
+        h.power = PowerState::Failed;
+    }
+
     /// Repairs a failed host back to the off state.
     pub fn repair_host(&mut self, host: HostId) {
         let h = &mut self.hosts[host.raw() as usize];
         assert_eq!(h.power, PowerState::Failed, "repair of a non-failed host");
         h.power = PowerState::Off;
+    }
+
+    /// Applies (or clears, with `0.0`) the flapping-blacklist reliability
+    /// penalty on a host. Read back through [`Cluster::effective_reliability`].
+    pub fn blacklist(&mut self, host: HostId, penalty: f64) {
+        assert!((0.0..=1.0).contains(&penalty), "penalty must be in [0, 1]");
+        self.hosts[host.raw() as usize].reliability_penalty = penalty;
+    }
+
+    /// Sets the host's effective-capacity multiplier (1.0 = nominal).
+    /// Callers must re-run [`Cluster::reallocate_host`] afterwards.
+    pub fn set_cpu_factor(&mut self, host: HostId, factor: f64) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "cpu factor must be in (0, 1]"
+        );
+        self.hosts[host.raw() as usize].cpu_factor = factor;
     }
 
     // ----- CPU sharing -----------------------------------------------------
@@ -512,7 +606,10 @@ impl Cluster {
                 .advance_progress(now);
         }
         let h = &self.hosts[host.raw() as usize];
-        let capacity = (h.spec.cpu.as_f64() - h.op_cpu_overhead().as_f64()).max(0.0);
+        // `cpu_factor` is exactly 1.0 outside slowdown episodes, and
+        // `x * 1.0 == x` bit-for-bit, so the fault layer costs nothing here
+        // when disabled.
+        let capacity = (h.spec.cpu.as_f64() * h.cpu_factor - h.op_cpu_overhead().as_f64()).max(0.0);
         let contenders: Vec<CpuContender> = resident
             .iter()
             .map(|id| {
@@ -553,48 +650,96 @@ impl Cluster {
 
     // ----- invariants -------------------------------------------------------
 
-    /// Structural invariant check for tests: every VM's `host` field agrees
-    /// with the hosts' resident/incoming lists, queued VMs are exactly the
-    /// queue, and no VM is accounted twice. Panics on violation.
+    /// Structural invariant check for tests: delegates to
+    /// [`Cluster::verify`] and panics on the first violation.
     pub fn check_invariants(&self) {
+        if let Err(msg) = self.verify() {
+            panic!("cluster invariant violated: {msg}");
+        }
+    }
+
+    /// Deep structural verification, the auditor's workhorse: every VM's
+    /// `host` field agrees with the hosts' resident/incoming lists, no VM
+    /// is accounted twice, queued VMs are exactly the queue, committed
+    /// memory never exceeds capacity, and non-ready hosts carry no VMs.
+    /// Returns the first violation found.
+    pub fn verify(&self) -> Result<(), String> {
         let mut seen_resident: HashMap<VmId, HostId> = HashMap::new();
         for h in &self.hosts {
+            let id = h.spec.id;
             for &vm in &h.resident {
-                assert!(
-                    seen_resident.insert(vm, h.spec.id).is_none(),
-                    "{vm} resident on two hosts"
-                );
-                assert_eq!(self.vms[&vm].host, Some(h.spec.id), "{vm} host mismatch");
+                if seen_resident.insert(vm, id).is_some() {
+                    return Err(format!("{vm} resident on two hosts"));
+                }
+                if self.vms[&vm].host != Some(id) {
+                    return Err(format!("{vm} host field disagrees with {id} residency"));
+                }
             }
             for &vm in &h.incoming {
                 match self.vms[&vm].state {
-                    VmState::Migrating { to } => assert_eq!(to, h.spec.id),
-                    s => panic!("incoming {vm} not migrating (state {s:?})"),
+                    VmState::Migrating { to } if to == id => {}
+                    s => {
+                        return Err(format!(
+                            "incoming {vm} on {id} not migrating there (state {s:?})"
+                        ))
+                    }
                 }
+            }
+            match h.power {
+                PowerState::On => {}
+                PowerState::ShuttingDown { .. }
+                | PowerState::Off
+                | PowerState::Failed
+                | PowerState::Booting { .. } => {
+                    if !h.is_idle() {
+                        return Err(format!("{id} carries VMs/ops in state {:?}", h.power));
+                    }
+                }
+            }
+            let committed = self.committed(id);
+            if committed.mem > h.spec.capacity().mem {
+                return Err(format!(
+                    "{id} memory oversubscribed: {:?} committed on {:?}",
+                    committed.mem,
+                    h.spec.capacity().mem
+                ));
+            }
+            if !(h.cpu_factor > 0.0 && h.cpu_factor <= 1.0) {
+                return Err(format!("{id} cpu factor {} out of (0, 1]", h.cpu_factor));
             }
         }
         for &vm in &self.queue {
             let v = &self.vms[&vm];
-            assert_eq!(v.state, VmState::Queued, "{vm} queued but not Queued");
-            assert!(v.host.is_none(), "queued {vm} has a host");
-            assert!(
-                !seen_resident.contains_key(&vm),
-                "queued {vm} also resident"
-            );
+            if v.state != VmState::Queued {
+                return Err(format!("{vm} in queue but in state {:?}", v.state));
+            }
+            if v.host.is_some() {
+                return Err(format!("queued {vm} has a host"));
+            }
+            if seen_resident.contains_key(&vm) {
+                return Err(format!("queued {vm} also resident"));
+            }
         }
         for v in self.vms.values() {
             match v.state {
-                VmState::Queued => assert!(self.queue.contains(&v.id)),
-                VmState::Finished => {
-                    assert!(v.host.is_none() && !seen_resident.contains_key(&v.id))
+                VmState::Queued => {
+                    if !self.queue.contains(&v.id) {
+                        return Err(format!("{} Queued but missing from the queue", v.id));
+                    }
                 }
-                _ => assert!(
-                    seen_resident.contains_key(&v.id),
-                    "{} active but not resident anywhere",
-                    v.id
-                ),
+                VmState::Finished => {
+                    if v.host.is_some() || seen_resident.contains_key(&v.id) {
+                        return Err(format!("finished {} still placed", v.id));
+                    }
+                }
+                _ => {
+                    if !seen_resident.contains_key(&v.id) {
+                        return Err(format!("{} active but not resident anywhere", v.id));
+                    }
+                }
             }
         }
+        Ok(())
     }
 }
 
@@ -919,6 +1064,101 @@ mod tests {
         assert!(c.host(HostId(0)).is_idle(), "source residue cleaned");
         assert!(c.host(HostId(0)).ops.is_empty());
         c.check_invariants();
+    }
+
+    #[test]
+    fn abort_creation_requeues_vm() {
+        let mut c = cluster(2);
+        let vm = c.submit_job(job(1, 200, 100));
+        c.start_creation(vm, HostId(0), t(0), t(40));
+        c.abort_creation(vm, t(20));
+        assert_eq!(c.vm(vm).state, VmState::Queued);
+        assert_eq!(c.queue(), &[vm]);
+        assert!(c.host(HostId(0)).is_idle(), "creation residue cleaned");
+        c.check_invariants();
+        // The VM can be retried on another host.
+        c.start_creation(vm, HostId(1), t(30), t(70));
+        c.finish_creation(vm, t(70));
+        assert_eq!(c.vm(vm).state, VmState::Running);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn abort_migration_keeps_vm_on_source() {
+        let mut c = cluster(2);
+        let vm = c.submit_job(job(1, 300, 1000));
+        c.start_creation(vm, HostId(0), t(0), t(40));
+        c.finish_creation(vm, t(40));
+        c.reallocate_host(HostId(0), t(40));
+        c.start_migration(vm, HostId(1), t(100), t(160));
+        c.abort_migration(vm, t(130));
+        assert_eq!(c.vm(vm).state, VmState::Running);
+        assert_eq!(c.vm(vm).host, Some(HostId(0)));
+        assert_eq!(c.vm(vm).migrations, 0, "aborted migration doesn't count");
+        assert!(c.host(HostId(1)).is_idle(), "destination residue cleaned");
+        assert_eq!(c.host(HostId(0)).op_cpu_overhead(), Cpu::ZERO);
+        assert!(
+            c.vm(vm).progress > 0.0,
+            "progress banked for the time on the source"
+        );
+        c.check_invariants();
+    }
+
+    #[test]
+    fn fail_boot_lands_in_failed_state() {
+        let mut c = cluster(1);
+        let h = HostId(0);
+        c.begin_power_off(h, t(0));
+        c.complete_power_off(h);
+        c.begin_power_on(h, t(100));
+        c.fail_boot(h);
+        assert_eq!(c.host(h).power, PowerState::Failed);
+        assert_eq!(c.online_count(), 0);
+        c.repair_host(h);
+        assert_eq!(c.host(h).power, PowerState::Off);
+    }
+
+    #[test]
+    fn blacklist_lowers_effective_reliability() {
+        let mut c = cluster(1);
+        let h = HostId(0);
+        assert_eq!(c.effective_reliability(h), 1.0);
+        assert!(!c.is_blacklisted(h));
+        c.blacklist(h, 0.05);
+        assert!(c.is_blacklisted(h));
+        assert!((c.effective_reliability(h) - 0.95).abs() < 1e-12);
+        c.blacklist(h, 0.0);
+        assert_eq!(c.effective_reliability(h), 1.0);
+    }
+
+    #[test]
+    fn slowdown_factor_shrinks_capacity() {
+        let mut c = cluster(1);
+        let vm = c.submit_job(job(1, 400, 1000));
+        let h = HostId(0);
+        c.start_creation(vm, h, t(0), t(40));
+        c.finish_creation(vm, t(40));
+        c.reallocate_host(h, t(40));
+        assert_eq!(c.vm(vm).alloc, 400.0);
+        c.set_cpu_factor(h, 0.5);
+        c.reallocate_host(h, t(50));
+        assert_eq!(c.vm(vm).alloc, 200.0, "half capacity during slowdown");
+        c.set_cpu_factor(h, 1.0);
+        c.reallocate_host(h, t(60));
+        assert_eq!(c.vm(vm).alloc, 400.0);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn verify_reports_corruption() {
+        let mut c = cluster(2);
+        let vm = c.submit_job(job(1, 100, 100));
+        c.start_creation(vm, HostId(0), t(0), t(40));
+        assert!(c.verify().is_ok());
+        // Corrupt the state directly: duplicate residency.
+        c.hosts[1].resident.push(vm);
+        let err = c.verify().unwrap_err();
+        assert!(err.contains("two hosts"), "got: {err}");
     }
 
     #[test]

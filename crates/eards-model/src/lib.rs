@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 mod cluster;
+mod fault;
 mod host;
 mod ids;
 mod job;
@@ -34,6 +35,7 @@ pub mod xen;
 pub use cluster::{
     Cluster, Host, CHECKPOINT_CPU_OVERHEAD, CREATION_CPU_OVERHEAD, MIGRATION_CPU_OVERHEAD,
 };
+pub use fault::{FaultPlan, RackPlan, RecoveryPolicy, SlowdownPlan};
 pub use host::{HostClass, HostSpec, InFlightOp, OpKind, PowerState};
 pub use ids::{HostId, JobId, VmId};
 pub use job::{Arch, Hypervisor, Job, Requirements};

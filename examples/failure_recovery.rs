@@ -30,11 +30,11 @@ fn run_variant(label: &str, fault_penalty: bool, checkpoints: bool) -> RunReport
     let mut score_cfg = ScoreConfig::sb().named(label);
     score_cfg.fault_penalty = fault_penalty;
     let cfg = RunConfig {
-        failures: true,
-        repair_time: SimDuration::from_mins(30),
         checkpoint_period: checkpoints.then(|| SimDuration::from_mins(10)),
         ..RunConfig::default()
-    };
+    }
+    // Reliability-driven host crashes, repaired after the default 30 min.
+    .with_faults(FaultPlan::crashes());
     Runner::new(
         flaky_hosts(),
         trace,

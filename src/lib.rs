@@ -54,12 +54,13 @@ pub use eards_workload as workload;
 pub mod prelude {
     pub use eards_core::{ScoreConfig, ScoreScheduler};
     pub use eards_datacenter::{
-        lambda_grid, paper_datacenter, run_sweep, RunConfig, Runner, SweepPoint,
+        lambda_grid, paper_datacenter, run_sweep, AuditorMode, RunConfig, Runner, SweepPoint,
     };
-    pub use eards_metrics::{RunReport, Table};
+    pub use eards_metrics::{FaultStats, RunReport, Table};
     pub use eards_model::{
-        Action, CalibratedPowerModel, Cluster, Cpu, HostClass, HostId, HostSpec, Job, JobId, Mem,
-        Policy, PowerModel, PowerState, ScheduleContext, ScheduleReason, VmId, VmState,
+        Action, CalibratedPowerModel, Cluster, Cpu, FaultPlan, HostClass, HostId, HostSpec, Job,
+        JobId, Mem, Policy, PowerModel, PowerState, RackPlan, RecoveryPolicy, ScheduleContext,
+        ScheduleReason, SlowdownPlan, VmId, VmState,
     };
     pub use eards_policies::{
         BackfillingPolicy, DynamicBackfillingPolicy, RandomPolicy, RoundRobinPolicy,

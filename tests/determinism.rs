@@ -76,10 +76,7 @@ fn failure_injection_is_reproducible() {
     for h in hosts.iter_mut().skip(5) {
         h.reliability = 0.95;
     }
-    let cfg = RunConfig {
-        failures: true,
-        ..RunConfig::default()
-    };
+    let cfg = RunConfig::default().with_faults(FaultPlan::crashes());
     let run = || {
         Runner::new(
             hosts.clone(),

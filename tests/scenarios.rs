@@ -48,15 +48,16 @@ fn failure_mid_creation_recreates_elsewhere() {
     // corrupt the second attempt.
     let mut hosts = eards::datacenter::small_datacenter(2, HostClass::Medium);
     hosts[0].reliability = 0.0001; // dies almost immediately once armed
+    let mut faults = FaultPlan::crashes();
+    faults.mttr = SimDuration::from_hours(12); // stays dead
     let cfg = RunConfig {
         initial_on: 2,
         min_exec: 2,
-        failures: true,
-        repair_time: SimDuration::from_hours(12), // stays dead
         creation_jitter_std: 0.0,
         seed: 3,
         ..RunConfig::default()
-    };
+    }
+    .with_faults(faults);
     // Backfilling places on the emptiest-equal host deterministically
     // (host 0 first by id); host 0 fails within seconds.
     let report = Runner::new(
@@ -81,11 +82,11 @@ fn checkpoint_preserves_progress_across_failure() {
     let base = RunConfig {
         initial_on: 2,
         min_exec: 2,
-        failures: true,
         creation_jitter_std: 0.0,
         seed: 11,
         ..RunConfig::default()
-    };
+    }
+    .with_faults(FaultPlan::crashes());
     // With checkpoints every 5 minutes, a long job on a flaky node loses
     // at most ~5 min per crash; without, it restarts from zero. Compare
     // total completion times over identical failure schedules (the
