@@ -17,6 +17,7 @@
 //! | [`exp_ablation_sla`] | extension: overload + dynamic SLA enforcement |
 //! | [`exp_ablation_adaptive`] | extension: dynamic λ thresholds (future work of §V-A) |
 //! | [`exp_solver_timing`] | engine: incremental score matrix vs full-rescan reference |
+//! | [`exp_obs`] | engine: observability overhead + bit-identity gate |
 //!
 //! Binaries under `src/bin/` wrap these one-to-one; `run_all` regenerates
 //! everything and rebuilds `EXPERIMENTS.md`. Criterion microbenches of the
@@ -33,6 +34,7 @@ pub mod exp_chaos;
 pub mod exp_economics;
 pub mod exp_fig1;
 pub mod exp_fig23;
+pub mod exp_obs;
 pub mod exp_robustness;
 pub mod exp_solver_timing;
 pub mod exp_table1;

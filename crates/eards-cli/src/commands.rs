@@ -2,13 +2,14 @@
 
 use eards_datacenter::{lambda_grid, run_sweep, Runner};
 use eards_metrics::{fnum, heatmap, sparkline_fit, PricingModel, RunReport, Table};
+use eards_obs::{validate, Obs};
 use eards_sim::{SimDuration, SimTime};
 use eards_workload::{analyze, generate, parse_swf, write_swf, SwfOptions, SynthConfig};
 
 use crate::args::{ArgSpec, Args};
 use crate::setup::{
-    build_hosts, build_run_config, build_trace, make_policy, CliError, COMMON_SWITCHES,
-    COMMON_VALUED,
+    build_hosts, build_run_config, build_trace, make_policy, obs_requested, CliError,
+    COMMON_SWITCHES, COMMON_VALUED, OBS_FLAGS,
 };
 
 /// Usage text.
@@ -22,6 +23,8 @@ USAGE:
                  [--lambda-max-grid 50,70,90] [...]  λ threshold sweep (parallel)
   eards trace generate [--days D] [--trace-seed S] [--load-factor F] [--out FILE.swf]
   eards trace info <FILE.swf>                      summarize an SWF trace
+  eards trace check [--jsonl F] [--chrome F] [--metrics F]
+                                                   validate exported observability files
   eards help                                       this text
 
 COMMON FLAGS:
@@ -42,6 +45,13 @@ COMMON FLAGS:
   --power-series FILE.csv     write the datacenter power trace
   --csv                       print tables as CSV instead of Markdown
   --out FILE                  write output to FILE (trace generate)
+
+OBSERVABILITY (eards run only; tracing is off — and the run bit-identical —
+unless one of these is given):
+  --trace-out FILE.jsonl      write the typed event log (one JSON object/line)
+  --chrome-out FILE.json      write a Chrome trace_event file
+                              (load in chrome://tracing or ui.perfetto.dev)
+  --metrics-out FILE.json     write the counters/histograms snapshot
 
 POLICIES: rd, rr, bf, dbf, sb0, sb1, sb2, sb (paper default), sb-ext
 ";
@@ -121,19 +131,63 @@ fn report_output(args: &Args, reports: &[RunReport]) -> Result<String, CliError>
     Ok(out)
 }
 
+/// Writes the requested observability exports and returns summary lines.
+fn export_obs(args: &Args, obs: &Obs) -> Result<String, CliError> {
+    let mut out = String::new();
+    if let Some(path) = args.value("trace-out") {
+        std::fs::write(path, obs.export_jsonl())?;
+        let (len, _, dropped) = obs.ring_stats().unwrap_or((0, 0, 0));
+        out.push_str(&format!(
+            "event trace written to {path} ({len} events, {dropped} dropped)\n"
+        ));
+    }
+    if let Some(path) = args.value("chrome-out") {
+        std::fs::write(path, obs.export_chrome())?;
+        out.push_str(&format!(
+            "chrome trace written to {path} ({} spans; open in chrome://tracing)\n",
+            obs.spans_recorded()
+        ));
+    }
+    if let Some(path) = args.value("metrics-out") {
+        std::fs::write(path, obs.export_metrics())?;
+        out.push_str(&format!("metrics written to {path}\n"));
+    }
+    Ok(out)
+}
+
+/// Rejects observability flags on commands that run several simulations:
+/// the exports would silently hold only interleaved or last-run data.
+fn reject_obs_flags(args: &Args, cmd: &str) -> Result<(), CliError> {
+    if obs_requested(args) {
+        return Err(CliError::Usage(format!(
+            "--{} are only supported by `eards run` (a {cmd} would mix \
+             several runs in one trace)",
+            OBS_FLAGS.join("/--")
+        )));
+    }
+    Ok(())
+}
+
 fn run_cmd(tokens: &[String]) -> Result<String, CliError> {
     let args = parse_common(tokens)?;
     let policy_name = args.value("policy").unwrap_or("sb").to_string();
     let hosts = build_hosts(&args)?;
     let trace = build_trace(&args)?;
     let cfg = build_run_config(&args)?;
-    let policy = make_policy(&policy_name, cfg.seed)?;
+    let obs = cfg.obs.clone();
+    let policy = make_policy(&policy_name, cfg.seed, &obs)?;
     let report = Runner::new(hosts, trace, policy, cfg).run();
-    report_output(&args, std::slice::from_ref(&report))
+    let mut out = report_output(&args, std::slice::from_ref(&report))?;
+    if obs.is_enabled() {
+        out.push('\n');
+        out.push_str(&export_obs(&args, &obs)?);
+    }
+    Ok(out)
 }
 
 fn compare_cmd(tokens: &[String]) -> Result<String, CliError> {
     let args = parse_common(tokens)?;
+    reject_obs_flags(&args, "compare")?;
     let mut names = args.list("policies");
     if names.is_empty() {
         names = vec!["bf".into(), "dbf".into(), "sb".into()];
@@ -143,7 +197,7 @@ fn compare_cmd(tokens: &[String]) -> Result<String, CliError> {
     let cfg = build_run_config(&args)?;
     let mut reports = Vec::new();
     for name in &names {
-        let policy = make_policy(name, cfg.seed)?;
+        let policy = make_policy(name, cfg.seed, &cfg.obs)?;
         let report = Runner::new(hosts.clone(), trace.clone(), policy, cfg.clone()).run();
         reports.push(report);
     }
@@ -165,6 +219,7 @@ fn parse_grid(args: &Args, flag: &str, default: &[u32]) -> Result<Vec<u32>, CliE
 
 fn sweep_cmd(tokens: &[String]) -> Result<String, CliError> {
     let args = parse_common(tokens)?;
+    reject_obs_flags(&args, "sweep")?;
     let policy_name = args.value("policy").unwrap_or("sb").to_string();
     let hosts = build_hosts(&args)?;
     let trace = build_trace(&args)?;
@@ -182,7 +237,7 @@ fn sweep_cmd(tokens: &[String]) -> Result<String, CliError> {
     let reports = run_sweep(
         &hosts,
         &trace,
-        || make_policy(&policy_name, seed).expect("validated above"),
+        || make_policy(&policy_name, seed, &Obs::disabled()).expect("validated above"),
         points,
     );
     let mut t = Table::new(["setting", "Pwr (kWh)", "S (%)", "delay (%)", "Mig"]);
@@ -220,12 +275,51 @@ fn sweep_cmd(tokens: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Validates exported observability files against the schemas the exporters
+/// promise (`eards trace check --jsonl F --chrome F --metrics F`). Each
+/// given file is parsed and schema-checked; the first problem is an error.
+fn trace_check_cmd(tokens: &[String]) -> Result<String, CliError> {
+    let args = ArgSpec::new(&["jsonl", "chrome", "metrics"], &[]).parse(tokens.to_vec())?;
+    let mut out = String::new();
+    if let Some(path) = args.value("jsonl") {
+        let text = std::fs::read_to_string(path)?;
+        let events =
+            validate::validate_jsonl(&text).map_err(|e| CliError::Usage(format!("{path}: {e}")))?;
+        out.push_str(&format!("{path}: ok ({events} events)\n"));
+    }
+    if let Some(path) = args.value("chrome") {
+        let text = std::fs::read_to_string(path)?;
+        let entries = validate::validate_chrome(&text)
+            .map_err(|e| CliError::Usage(format!("{path}: {e}")))?;
+        out.push_str(&format!("{path}: ok ({entries} trace events)\n"));
+    }
+    if let Some(path) = args.value("metrics") {
+        let text = std::fs::read_to_string(path)?;
+        validate::validate_metrics(&text).map_err(|e| CliError::Usage(format!("{path}: {e}")))?;
+        out.push_str(&format!("{path}: ok\n"));
+    }
+    if out.is_empty() {
+        return Err(CliError::Usage(
+            "usage: eards trace check [--jsonl FILE] [--chrome FILE] [--metrics FILE] \
+             (at least one)"
+                .into(),
+        ));
+    }
+    Ok(out)
+}
+
 fn trace_cmd(tokens: &[String]) -> Result<String, CliError> {
     let Some((sub, rest)) = tokens.split_first() else {
         return Err(CliError::Usage(
-            "usage: eards trace <generate|info> ...".into(),
+            "usage: eards trace <generate|info|check> ...".into(),
         ));
     };
+    if sub == "check" {
+        // `check` has its own flag set (validated file paths, no workload
+        // flags), so it parses before the common spec gets a chance to
+        // reject them.
+        return trace_check_cmd(rest);
+    }
     let args = parse_common(rest)?;
     match sub.as_str() {
         "generate" => {
@@ -299,7 +393,7 @@ arrivals per hour: {}
             Ok(format!("{}{}", render(&t, args.switch("csv")), out))
         }
         other => Err(CliError::Usage(format!(
-            "unknown trace subcommand {other:?} (generate, info)"
+            "unknown trace subcommand {other:?} (generate, info, check)"
         ))),
     }
 }
@@ -374,5 +468,66 @@ mod tests {
         assert!(dispatch(&toks("run --lambda-min 95 --lambda-max 90")).is_err());
         assert!(dispatch(&toks("run --policy warp9")).is_err());
         assert!(dispatch(&toks("trace info /nonexistent/x.swf")).is_err());
+    }
+
+    #[test]
+    fn run_exports_traces_that_pass_the_checker() {
+        let dir = std::env::temp_dir().join("eards_cli_obs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl = dir.join("events.jsonl");
+        let chrome = dir.join("trace.json");
+        let metrics = dir.join("metrics.json");
+        let (j, c, m) = (
+            jsonl.to_str().unwrap(),
+            chrome.to_str().unwrap(),
+            metrics.to_str().unwrap(),
+        );
+        let out = dispatch(&toks(&format!(
+            "run --hosts 4 --hours 2 --policy sb \
+             --trace-out {j} --chrome-out {c} --metrics-out {m}"
+        )))
+        .unwrap();
+        assert!(out.contains("event trace written"), "{out}");
+        assert!(out.contains("chrome trace written"), "{out}");
+        assert!(out.contains("metrics written"), "{out}");
+        let check = dispatch(&toks(&format!(
+            "trace check --jsonl {j} --chrome {c} --metrics {m}"
+        )))
+        .unwrap();
+        assert_eq!(check.matches(": ok").count(), 3, "{check}");
+        // The run actually produced events (scheduling rounds at minimum).
+        let text = std::fs::read_to_string(&jsonl).unwrap();
+        assert!(
+            text.lines().any(|l| l.contains("\"schedule_round\"")),
+            "expected schedule_round events in the trace"
+        );
+        assert!(
+            text.lines().any(|l| l.contains("\"score_attribution\"")),
+            "expected per-placement score attributions in the trace"
+        );
+        for p in [&jsonl, &chrome, &metrics] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn trace_check_rejects_garbage_and_empty_invocations() {
+        let dir = std::env::temp_dir().join("eards_cli_obs_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.jsonl");
+        std::fs::write(&bad, "{\"kind\":\"x\"}\n").unwrap(); // missing t_ms
+        let bad_s = bad.to_str().unwrap();
+        assert!(dispatch(&toks(&format!("trace check --jsonl {bad_s}"))).is_err());
+        assert!(dispatch(&toks("trace check")).is_err(), "no files given");
+        std::fs::remove_file(bad).ok();
+    }
+
+    #[test]
+    fn obs_flags_rejected_outside_run() {
+        assert!(dispatch(&toks(
+            "compare --hosts 4 --hours 2 --trace-out /tmp/t.jsonl"
+        ))
+        .is_err());
+        assert!(dispatch(&toks("sweep --hosts 4 --hours 2 --metrics-out /tmp/m.json")).is_err());
     }
 }

@@ -4,6 +4,7 @@
 use eards_core::{ScoreConfig, ScoreScheduler};
 use eards_datacenter::{paper_datacenter, small_datacenter, AdaptiveLambda, RunConfig};
 use eards_model::{FaultPlan, HostClass, HostSpec, Policy};
+use eards_obs::Obs;
 use eards_policies::{BackfillingPolicy, DynamicBackfillingPolicy, RandomPolicy, RoundRobinPolicy};
 use eards_sim::SimDuration;
 use eards_workload::{generate, parse_swf, SwfOptions, SynthConfig, Trace};
@@ -65,23 +66,40 @@ pub const COMMON_VALUED: &[&str] = &[
     "lambda-min-grid",
     "lambda-max-grid",
     "chaos",
+    "trace-out",
+    "chrome-out",
+    "metrics-out",
 ];
+
+/// The observability export flags (valued; `run` only).
+pub const OBS_FLAGS: &[&str] = &["trace-out", "chrome-out", "metrics-out"];
+
+/// Ring capacity used when tracing is requested: large enough that a
+/// paper-scale day keeps every event, small enough to preallocate cheaply.
+pub const OBS_CAPACITY: usize = 1 << 16;
+
+/// True if any observability export flag was given.
+pub fn obs_requested(args: &Args) -> bool {
+    OBS_FLAGS.iter().any(|f| args.value(f).is_some())
+}
 
 /// The boolean switches shared by the simulation commands.
 pub const COMMON_SWITCHES: &[&str] = &["paper-dc", "failures", "economics", "csv"];
 
-/// Builds a policy by CLI name.
-pub fn make_policy(name: &str, seed: u64) -> Result<Box<dyn Policy>, CliError> {
+/// Builds a policy by CLI name. Score-based policies are handed a clone
+/// of `obs` so solver spans and score attributions land in the same trace
+/// as the runner's events (a disabled handle keeps every hook a no-op).
+pub fn make_policy(name: &str, seed: u64, obs: &Obs) -> Result<Box<dyn Policy>, CliError> {
     Ok(match name.to_ascii_lowercase().as_str() {
         "rd" | "random" => Box::new(RandomPolicy::new(seed)),
         "rr" | "round-robin" => Box::new(RoundRobinPolicy::new()),
         "bf" | "backfilling" => Box::new(BackfillingPolicy::new()),
         "dbf" => Box::new(DynamicBackfillingPolicy::new()),
-        "sb0" => Box::new(ScoreScheduler::new(ScoreConfig::sb0())),
-        "sb1" => Box::new(ScoreScheduler::new(ScoreConfig::sb1())),
-        "sb2" => Box::new(ScoreScheduler::new(ScoreConfig::sb2())),
-        "sb" => Box::new(ScoreScheduler::new(ScoreConfig::sb())),
-        "sb-ext" | "full" => Box::new(ScoreScheduler::new(ScoreConfig::full())),
+        "sb0" => Box::new(ScoreScheduler::with_obs(ScoreConfig::sb0(), obs.clone())),
+        "sb1" => Box::new(ScoreScheduler::with_obs(ScoreConfig::sb1(), obs.clone())),
+        "sb2" => Box::new(ScoreScheduler::with_obs(ScoreConfig::sb2(), obs.clone())),
+        "sb" => Box::new(ScoreScheduler::with_obs(ScoreConfig::sb(), obs.clone())),
+        "sb-ext" | "full" => Box::new(ScoreScheduler::with_obs(ScoreConfig::full(), obs.clone())),
         other => {
             return Err(CliError::Usage(format!(
                 "unknown policy {other:?} (rd, rr, bf, dbf, sb0, sb1, sb2, sb, sb-ext)"
@@ -160,6 +178,9 @@ pub fn build_run_config(args: &Args) -> Result<RunConfig, CliError> {
         });
     }
     cfg.record_power_series = args.value("power-series").is_some();
+    if obs_requested(args) {
+        cfg = cfg.with_obs(Obs::enabled(OBS_CAPACITY));
+    }
     Ok(cfg)
 }
 
@@ -223,13 +244,23 @@ mod tests {
         assert!(build_run_config(&parse("--lambda-min 90 --lambda-max 30")).is_err());
         assert!(build_hosts(&parse("--hosts 0")).is_err());
         assert!(build_trace(&parse("--load-factor -1")).is_err());
-        assert!(make_policy("quantum", 0).is_err());
+        assert!(make_policy("quantum", 0, &Obs::disabled()).is_err());
     }
 
     #[test]
     fn all_policies_constructible() {
         for p in ["rd", "rr", "bf", "dbf", "sb0", "sb1", "sb2", "sb", "sb-ext"] {
-            assert!(make_policy(p, 1).is_ok(), "{p}");
+            assert!(make_policy(p, 1, &Obs::disabled()).is_ok(), "{p}");
+        }
+    }
+
+    #[test]
+    fn obs_flags_enable_the_handle() {
+        let cfg = build_run_config(&parse("")).unwrap();
+        assert!(!cfg.obs.is_enabled(), "disabled unless requested");
+        for flag in OBS_FLAGS {
+            let cfg = build_run_config(&parse(&format!("--{flag} /tmp/x"))).unwrap();
+            assert!(cfg.obs.is_enabled(), "--{flag} should enable tracing");
         }
     }
 }

@@ -53,6 +53,27 @@ impl Default for CellStatic {
     }
 }
 
+/// Per-penalty attribution of one score cell, as charged for a move-in
+/// (the solver's decision-time view of placing the VM on that host).
+///
+/// Produced by [`Eval::score_breakdown`] for the observability layer:
+/// the trace records *why* a chosen move scored what it did. Terms that
+/// are disabled by the configuration are reported as `0.0`; an
+/// infeasible cell reports every term (and the total) as `∞`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreBreakdown {
+    /// `P_virt + P_conc` — the static move-in penalties.
+    pub movein: f64,
+    /// `P_pwr` — the consolidation force.
+    pub pwr: f64,
+    /// `P_SLA` — the projected-fulfilment penalty.
+    pub sla: f64,
+    /// `P_fault` — the reliability penalty.
+    pub fault: f64,
+    /// Sum of the terms (`∞` for an infeasible cell).
+    pub total: f64,
+}
+
 /// Score evaluator over the cluster plus a tentative placement of the
 /// matrix VMs.
 pub struct Eval<'a> {
@@ -322,6 +343,46 @@ impl<'a> Eval<'a> {
         }
 
         total
+    }
+
+    /// Per-penalty attribution of cell `(h, v)` under the current
+    /// hypothesis, charged as a move-in.
+    ///
+    /// Intended for tracing the moves a round actually chose: called
+    /// after the solver applied them, each term reflects the end-of-round
+    /// overlay (`occupation`/`count` *with* the VM on `h`), which for the
+    /// placed VM is exactly the state its decision score evaluated.
+    pub fn score_breakdown(&self, h: usize, v: usize) -> ScoreBreakdown {
+        let cell = self.static_cell(h, v);
+        let occupation = self.occupation_with(h, v);
+        if !cell.feasible || occupation > 1.0 {
+            return ScoreBreakdown {
+                movein: f64::INFINITY,
+                pwr: f64::INFINITY,
+                sla: f64::INFINITY,
+                fault: f64::INFINITY,
+                total: f64::INFINITY,
+            };
+        }
+        let movein = cell.movein.value();
+        let pwr = self.p_pwr(h, v, occupation).value();
+        let sla = if self.cfg.sla_penalty {
+            self.p_sla(h, v).value()
+        } else {
+            0.0
+        };
+        let fault = if self.cfg.fault_penalty {
+            cell.fault.value()
+        } else {
+            0.0
+        };
+        ScoreBreakdown {
+            movein,
+            pwr,
+            sla,
+            fault,
+            total: movein + pwr + sla + fault,
+        }
     }
 
     /// Creation / migration overhead penalty as charged when `v` is not

@@ -37,7 +37,7 @@ mod score;
 mod solver;
 
 pub use config::ScoreConfig;
-pub use eval::{CellStatic, Eval};
+pub use eval::{CellStatic, Eval, ScoreBreakdown};
 pub use explain::{
     render_delta_matrix, render_delta_matrix_cached, render_matrix, render_matrix_cached,
 };

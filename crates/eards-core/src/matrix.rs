@@ -117,6 +117,10 @@ pub struct ScoreMatrix<'e, 'a> {
     /// Per-column best candidate `(to_value, row)`, excluding the current
     /// placement row and infeasible cells.
     col_best: Vec<Option<(f64, usize)>>,
+    /// Rows actually rescored this round (dirty-row invalidations paid),
+    /// counting the initial lazy fill — the incremental engine's key
+    /// efficiency figure, surfaced through the observability layer.
+    rescored: u64,
 }
 
 impl<'e, 'a> ScoreMatrix<'e, 'a> {
@@ -166,6 +170,7 @@ impl<'e, 'a> ScoreMatrix<'e, 'a> {
             pending,
             pending_flag,
             col_best,
+            rescored: 0,
         }
     }
 
@@ -218,6 +223,14 @@ impl<'e, 'a> ScoreMatrix<'e, 'a> {
             self.cells[idx] = self.eval.score_with_static(r, v, &self.statics[idx]);
         }
         self.row_stale[r] = false;
+        self.rescored += 1;
+    }
+
+    /// Rows rescored so far (initial lazy fills plus dirty-row
+    /// invalidations). A full-rescan engine would pay
+    /// `num_hosts × sweeps`; this counter shows what was actually paid.
+    pub fn rows_rescored(&self) -> u64 {
+        self.rescored
     }
 
     /// Marks row `r` changed: its cells need a rescore and the per-column

@@ -13,11 +13,23 @@
 use eards_model::{
     Action, Cluster, HostId, Policy, ScheduleContext, ScheduleReason, VmId, VmState,
 };
+use eards_obs::{Obs, ObsEvent};
 
 use crate::config::ScoreConfig;
 use crate::eval::Eval;
 use crate::matrix::{EngineBuffers, ScoreMatrix};
 use crate::solver::solve_matrix;
+
+/// Stable tag for a [`ScheduleReason`], used in trace events.
+fn reason_str(reason: ScheduleReason) -> &'static str {
+    match reason {
+        ScheduleReason::VmArrived => "vm_arrived",
+        ScheduleReason::VmFinished => "vm_finished",
+        ScheduleReason::SlaViolation => "sla_violation",
+        ScheduleReason::HostStateChanged => "host_state_changed",
+        ScheduleReason::Periodic => "periodic",
+    }
+}
 
 /// The score-based scheduling policy (SB0/SB1/SB2/SB depending on its
 /// [`ScoreConfig`]).
@@ -55,14 +67,24 @@ pub struct ScoreScheduler {
     /// each round's `&Cluster` borrow, so the `O(M·N)` matrix storage is
     /// set up once and reused instead of reallocated every round.
     buffers: EngineBuffers,
+    /// Observability handle; disabled by default (every call is a no-op).
+    obs: Obs,
 }
 
 impl ScoreScheduler {
     /// Creates a scheduler with the given configuration.
     pub fn new(cfg: ScoreConfig) -> Self {
+        Self::with_obs(cfg, Obs::disabled())
+    }
+
+    /// Creates a scheduler that records solver spans, sweep-latency and
+    /// dirty-row-invalidation metrics, and per-penalty score attributions
+    /// into `obs`.
+    pub fn with_obs(cfg: ScoreConfig, obs: Obs) -> Self {
         ScoreScheduler {
             cfg,
             buffers: EngineBuffers::new(),
+            obs,
         }
     }
 
@@ -127,13 +149,59 @@ impl Policy for ScoreScheduler {
             self.buffers.vms = cols;
             return Vec::new();
         }
+        let queued = cluster.queue().len() as u32;
         let mut eval = Eval::new_in(cluster, &self.cfg, ctx.now, cols, &mut self.buffers);
-        let sol = {
+        let (sol, rows_rescored) = {
+            // Sweep latency in µs: sub-ms buckets resolve the common case,
+            // the tail buckets catch pathological rounds.
+            let hist = self.obs.histogram(
+                "solve_us",
+                &[50.0, 200.0, 1000.0, 5000.0, 25000.0, 100000.0],
+            );
+            let _span = self.obs.span("solve", ctx.now).with_hist(hist);
             let mut matrix = ScoreMatrix::new_in(&mut eval, &mut self.buffers);
             let sol = solve_matrix(&mut matrix, self.cfg.max_moves);
+            let rows = matrix.rows_rescored();
             matrix.recycle(&mut self.buffers);
-            sol
+            (sol, rows)
         };
+        if self.obs.is_enabled() {
+            self.obs.inc(self.obs.counter("solver_rounds"), 1);
+            self.obs
+                .inc(self.obs.counter("matrix_rows_rescored"), rows_rescored);
+            let rows_hist = self.obs.histogram(
+                "rows_rescored_per_round",
+                &[2.0, 8.0, 32.0, 128.0, 512.0, 2048.0],
+            );
+            self.obs.observe(rows_hist, rows_rescored as f64);
+            self.obs.record(
+                ctx.now,
+                ObsEvent::ScheduleRound {
+                    reason: reason_str(ctx.reason),
+                    actions: sol.moves.len() as u32,
+                    queued,
+                },
+            );
+            // Attribute each chosen move's score term by term. The solver
+            // already applied the moves to the overlay, so each breakdown
+            // reflects exactly the end-of-round state its decision saw.
+            for &(v, h) in &sol.moves {
+                let bd = eval.score_breakdown(h, v);
+                self.obs.record(
+                    ctx.now,
+                    ObsEvent::ScoreAttribution {
+                        vm: eval.vms()[v].raw(),
+                        host: h as u32,
+                        migration: eval.original_of(v).is_some(),
+                        movein: bd.movein,
+                        pwr: bd.pwr,
+                        sla: bd.sla,
+                        fault: bd.fault,
+                        total: bd.total,
+                    },
+                );
+            }
+        }
 
         // Each column moves at most once, so the move list maps directly
         // to actions; emission order follows solver order (most beneficial

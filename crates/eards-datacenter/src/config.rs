@@ -1,6 +1,7 @@
 //! Run configuration and the paper's reference datacenter.
 
 use eards_model::{FaultPlan, HostClass, HostId, HostSpec};
+use eards_obs::Obs;
 use eards_sim::SimDuration;
 
 /// How aggressively the invariant auditor runs (see
@@ -110,6 +111,11 @@ pub struct RunConfig {
     /// RNG seed for the run's stochastic elements (operation jitter,
     /// failures). The workload has its own seed.
     pub seed: u64,
+    /// Observability handle threaded through the runner (and, when the
+    /// caller builds the policy with the same handle, the solver).
+    /// Disabled by default: every hook is a no-op and the run is
+    /// bit-identical to an unobserved one.
+    pub obs: Obs,
 }
 
 impl Default for RunConfig {
@@ -136,6 +142,7 @@ impl Default for RunConfig {
             record_power_series: false,
             audit: false,
             seed: 0x0EA2D5,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -159,6 +166,14 @@ impl RunConfig {
     /// Sets the invariant-auditor mode.
     pub fn with_auditor(mut self, mode: AuditorMode) -> Self {
         self.auditor = mode;
+        self
+    }
+
+    /// Attaches an observability handle. Pass a clone of the same handle
+    /// to [`eards_core::ScoreScheduler::with_obs`] to capture solver
+    /// spans and score attributions in the same trace.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 

@@ -26,6 +26,7 @@ use eards_model::{
     Action, CalibratedPowerModel, Cluster, HostId, HostSpec, Job, Policy, PowerModel, PowerState,
     ScheduleContext, ScheduleReason, VmId, VmState,
 };
+use eards_obs::{FaultKind, HistId, Obs, ObsEvent, PowerFlipKind, RecoveryKind};
 use eards_sim::{EventHandle, SimDuration, SimRng, SimTime, Simulator};
 use eards_workload::Trace;
 
@@ -39,12 +40,16 @@ use crate::invariants::InvariantAuditor;
 enum Event {
     /// A job from the trace arrives (index into the job list).
     JobArrival(usize),
-    /// A VM creation finishes.
-    CreationDone(VmId),
-    /// A live migration finishes.
-    MigrationDone(VmId),
-    /// A checkpoint write finishes.
-    CheckpointDone(VmId),
+    /// A VM creation finishes. The `u64` is the operation sequence number
+    /// (see [`eards_model::InFlightOp::seq`]) proving the event belongs to
+    /// the *live* operation — a completion timestamp cannot do that,
+    /// because an abort or a re-started operation can land on the same
+    /// tick.
+    CreationDone(VmId, u64),
+    /// A live migration finishes (`seq` as above).
+    MigrationDone(VmId, u64),
+    /// A checkpoint write finishes (`seq` as above).
+    CheckpointDone(VmId, u64),
     /// A VM's job is projected to complete now.
     JobCompletion(VmId),
     /// A host finished booting.
@@ -55,13 +60,15 @@ enum Event {
     HostFailure(HostId),
     /// A failed host becomes bootable again.
     HostRepaired(HostId),
-    /// A doomed VM creation aborts partway through. `ends` is the end
-    /// time of the operation this event belongs to — its identity token
-    /// against stale events (the abort fires *before* `ends`, so the
-    /// `o.ends == now` guard of the Done events cannot be used).
-    CreationAborted(VmId, SimTime),
-    /// A doomed live migration aborts partway through (`ends` as above).
-    MigrationAborted(VmId, SimTime),
+    /// A doomed VM creation aborts partway through, carrying the sequence
+    /// number of the operation it kills. An earlier design used the
+    /// operation's end time as the identity token, which collides when an
+    /// abort lands on the same tick as a later operation's completion for
+    /// the same VM (see `stale_abort_does_not_kill_reissued_creation` in
+    /// the seq-guard tests).
+    CreationAborted(VmId, u64),
+    /// A doomed live migration aborts partway through (`seq` as above).
+    MigrationAborted(VmId, u64),
     /// A transient slowdown episode starts on a host.
     SlowdownStart(HostId),
     /// The host's slowdown episode ends.
@@ -130,6 +137,12 @@ pub struct Runner {
     /// (the set is rebuilt every `adjust_power` pass; the allocation
     /// is not).
     power_scratch: Vec<HostId>,
+    /// Observability handle (cloned from the config; disabled = no-ops).
+    obs: Obs,
+    /// Pre-registered histogram of queue length entering each round.
+    queue_hist: HistId,
+    /// Pre-registered histogram of retry-backoff depths (attempt counts).
+    retry_hist: HistId,
 }
 
 /// Exponential-backoff state of one VM whose creation or migration
@@ -173,6 +186,9 @@ impl Runner {
         let faults = FaultEngine::new(cfg.effective_faults(), hosts.len(), cfg.seed);
         let auditor = InvariantAuditor::new(cfg.auditor);
         let crash_counts = vec![0; hosts.len()];
+        let obs = cfg.obs.clone();
+        let queue_hist = obs.histogram("queue_len", &[1.0, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0]);
+        let retry_hist = obs.histogram("retry_backoff_depth", &[1.0, 2.0, 3.0, 4.0, 6.0, 10.0]);
         Runner {
             cluster: Cluster::new(hosts, PowerState::Off),
             policy,
@@ -206,6 +222,9 @@ impl Runner {
             audit: Vec::new(),
             sat_window: eards_metrics::Summary::new(),
             power_scratch: Vec::new(),
+            obs,
+            queue_hist,
+            retry_hist,
         }
     }
 
@@ -317,18 +336,18 @@ impl Runner {
                 self.note(now, AuditKind::JobArrived { vm });
                 Some(ScheduleReason::VmArrived)
             }
-            Event::CreationDone(vm) => {
+            Event::CreationDone(vm, seq) => {
                 if self.cluster.vm(vm).state != VmState::Creating {
                     return None; // host failed mid-creation; VM re-queued
                 }
                 // Guard against a *stale* event: if the original creation
                 // was aborted by a host failure and the VM is now being
-                // re-created elsewhere, only the event matching the live
-                // operation's end time may complete it.
+                // re-created elsewhere, only the event carrying the live
+                // operation's sequence number may complete it.
                 let host = self.cluster.vm(vm).host.expect("creating VM has a host");
                 let live =
                     self.cluster.host(host).ops.iter().any(|o| {
-                        o.vm == vm && o.kind == eards_model::OpKind::Create && o.ends == now
+                        o.vm == vm && o.kind == eards_model::OpKind::Create && o.seq == seq
                     });
                 if !live {
                     return None;
@@ -336,13 +355,20 @@ impl Runner {
                 self.cluster.finish_creation(vm, now);
                 let host = self.cluster.vm(vm).host.expect("created VM has a host");
                 self.note(now, AuditKind::VmStarted { vm, host });
+                self.obs.record(
+                    now,
+                    ObsEvent::Creation {
+                        vm: vm.raw(),
+                        host: host.raw(),
+                    },
+                );
                 self.retry.remove(&vm);
                 self.record_recovery(vm, now);
                 self.touch(host, now);
                 self.complete_if_done(vm, now);
                 Some(ScheduleReason::VmFinished)
             }
-            Event::MigrationDone(vm) => {
+            Event::MigrationDone(vm, seq) => {
                 let (from, to) = match self.cluster.vm(vm).state {
                     VmState::Migrating { to } => (
                         self.cluster.vm(vm).host.expect("migrating VM has a host"),
@@ -351,11 +377,12 @@ impl Runner {
                     _ => return None, // an endpoint failed mid-migration
                 };
                 // Stale-event guard (see CreationDone): only the event
-                // matching the live migration operation may complete it.
+                // carrying the live migration's sequence number may
+                // complete it.
                 let live = self.cluster.host(to).ops.iter().any(|o| {
                     o.vm == vm
                         && matches!(o.kind, eards_model::OpKind::MigrateIn { .. })
-                        && o.ends == now
+                        && o.seq == seq
                 });
                 if !live {
                     return None;
@@ -365,13 +392,21 @@ impl Runner {
                 self.cluster.finish_migration(vm, now);
                 let to = self.cluster.vm(vm).host.expect("migrated VM has a host");
                 self.note(now, AuditKind::MigrationFinished { vm, to });
+                self.obs.record(
+                    now,
+                    ObsEvent::Migration {
+                        vm: vm.raw(),
+                        from: from.raw(),
+                        to: to.raw(),
+                    },
+                );
                 self.retry.remove(&vm);
                 self.touch(from, now);
                 self.touch(to, now);
                 self.complete_if_done(vm, now);
                 Some(ScheduleReason::HostStateChanged)
             }
-            Event::CheckpointDone(vm) => {
+            Event::CheckpointDone(vm, seq) => {
                 if self.cluster.vm(vm).state != VmState::Checkpointing {
                     return None;
                 }
@@ -381,7 +416,7 @@ impl Runner {
                     .host
                     .expect("checkpointing VM has a host");
                 let live = self.cluster.host(host).ops.iter().any(|o| {
-                    o.vm == vm && o.kind == eards_model::OpKind::Checkpoint && o.ends == now
+                    o.vm == vm && o.kind == eards_model::OpKind::Checkpoint && o.seq == seq
                 });
                 if !live {
                     return None;
@@ -420,12 +455,26 @@ impl Runner {
                     if self.faults.boot_fails(h.raw() as usize) {
                         self.cluster.fail_boot(h);
                         self.note(now, AuditKind::BootFailed { host: h });
+                        self.obs.record(
+                            now,
+                            ObsEvent::Fault {
+                                kind: FaultKind::BootFailure,
+                                host: h.raw(),
+                            },
+                        );
                         self.fstats.boot_failures += 1;
                         let mttr = self.faults.plan().mttr;
                         self.sim.schedule_after(mttr, Event::HostRepaired(h));
                     } else {
                         self.cluster.complete_power_on(h);
                         self.note(now, AuditKind::HostOn { host: h });
+                        self.obs.record(
+                            now,
+                            ObsEvent::PowerFlip {
+                                host: h.raw(),
+                                state: PowerFlipKind::On,
+                            },
+                        );
                         self.arm_failure(h);
                         self.arm_slowdown(h);
                     }
@@ -437,6 +486,13 @@ impl Runner {
             Event::ShutdownDone(h) => {
                 if matches!(self.cluster.host(h).power, PowerState::ShuttingDown { .. }) {
                     self.cluster.complete_power_off(h);
+                    self.obs.record(
+                        now,
+                        ObsEvent::PowerFlip {
+                            host: h.raw(),
+                            state: PowerFlipKind::Off,
+                        },
+                    );
                 }
                 None
             }
@@ -452,24 +508,38 @@ impl Runner {
             Event::HostRepaired(h) => {
                 self.cluster.repair_host(h);
                 self.note(now, AuditKind::HostRepaired { host: h });
+                self.obs.record(
+                    now,
+                    ObsEvent::Recovery {
+                        kind: RecoveryKind::HostRepaired,
+                        id: h.raw() as u64,
+                    },
+                );
                 Some(ScheduleReason::HostStateChanged)
             }
-            Event::CreationAborted(vm, ends) => {
+            Event::CreationAborted(vm, seq) => {
                 if self.cluster.vm(vm).state != VmState::Creating {
                     return None; // the host failed first; already re-queued
                 }
                 // Stale-event guard: only the abort belonging to the live
-                // operation (matching end time) may kill it.
+                // operation (matching sequence number) may kill it.
                 let host = self.cluster.vm(vm).host.expect("creating VM has a host");
                 let live =
                     self.cluster.host(host).ops.iter().any(|o| {
-                        o.vm == vm && o.kind == eards_model::OpKind::Create && o.ends == ends
+                        o.vm == vm && o.kind == eards_model::OpKind::Create && o.seq == seq
                     });
                 if !live {
                     return None;
                 }
                 self.cluster.abort_creation(vm, now);
                 self.note(now, AuditKind::CreationFailed { vm, host });
+                self.obs.record(
+                    now,
+                    ObsEvent::Fault {
+                        kind: FaultKind::CreationAbort,
+                        host: host.raw(),
+                    },
+                );
                 self.fstats.creation_failures += 1;
                 // The recovery clock starts at the first failure and runs
                 // until the VM finally comes up somewhere.
@@ -478,7 +548,7 @@ impl Runner {
                 self.touch(host, now);
                 Some(ScheduleReason::VmArrived)
             }
-            Event::MigrationAborted(vm, ends) => {
+            Event::MigrationAborted(vm, seq) => {
                 let to = match self.cluster.vm(vm).state {
                     VmState::Migrating { to } => to,
                     _ => return None, // an endpoint failed first
@@ -487,13 +557,20 @@ impl Runner {
                 let live = self.cluster.host(to).ops.iter().any(|o| {
                     o.vm == vm
                         && matches!(o.kind, eards_model::OpKind::MigrateIn { .. })
-                        && o.ends == ends
+                        && o.seq == seq
                 });
                 if !live {
                     return None;
                 }
                 self.cluster.abort_migration(vm, now);
                 self.note(now, AuditKind::MigrationAborted { vm, from, to });
+                self.obs.record(
+                    now,
+                    ObsEvent::Fault {
+                        kind: FaultKind::MigrationAbort,
+                        host: to.raw(),
+                    },
+                );
                 self.fstats.migration_aborts += 1;
                 self.apply_backoff(vm, now);
                 self.touch(from, now);
@@ -519,6 +596,13 @@ impl Runner {
                         factor: sp.factor,
                     },
                 );
+                self.obs.record(
+                    now,
+                    ObsEvent::Fault {
+                        kind: FaultKind::SlowdownStart,
+                        host: h.raw(),
+                    },
+                );
                 self.fstats.slowdown_episodes += 1;
                 let handle = self.sim.schedule_after(sp.duration, Event::SlowdownEnd(h));
                 self.slowdown_timer.insert(h, handle);
@@ -532,6 +616,13 @@ impl Runner {
                 }
                 self.cluster.set_cpu_factor(h, 1.0);
                 self.note(now, AuditKind::SlowdownEnded { host: h });
+                self.obs.record(
+                    now,
+                    ObsEvent::Fault {
+                        kind: FaultKind::SlowdownEnd,
+                        host: h.raw(),
+                    },
+                );
                 self.touch(h, now);
                 self.arm_slowdown(h);
                 Some(ScheduleReason::HostStateChanged)
@@ -553,6 +644,15 @@ impl Runner {
                     .count();
                 self.fstats.rack_outages += 1;
                 self.note(now, AuditKind::RackOutage { rack: r, failed });
+                // For rack outages the `host` field carries the *rack*
+                // index (the per-host crashes below record themselves).
+                self.obs.record(
+                    now,
+                    ObsEvent::Fault {
+                        kind: FaultKind::RackOutage,
+                        host: r as u32,
+                    },
+                );
                 for i in lo..hi {
                     let h = HostId(i as u32);
                     match self.cluster.host(h).power {
@@ -657,8 +757,8 @@ impl Runner {
                 eligible.sort_unstable(); // HashMap order is not deterministic
                 for vm in eligible {
                     let ends = now + self.cfg.checkpoint_duration;
-                    self.cluster.start_checkpoint(vm, now, ends);
-                    self.sim.schedule_at(ends, Event::CheckpointDone(vm));
+                    let seq = self.cluster.start_checkpoint(vm, now, ends);
+                    self.sim.schedule_at(ends, Event::CheckpointDone(vm, seq));
                     let host = self.cluster.vm(vm).host.expect("running VM has a host");
                     self.touch(host, now);
                 }
@@ -673,6 +773,9 @@ impl Runner {
     // ----- scheduling ------------------------------------------------------
 
     fn schedule_round(&mut self, now: SimTime, reason: ScheduleReason) {
+        let _span = self.obs.span("schedule_round", now);
+        self.obs
+            .observe(self.queue_hist, self.cluster.queue().len() as f64);
         let ctx = ScheduleContext { now, reason };
         let actions = self.policy.schedule(&self.cluster, &ctx);
         for action in actions {
@@ -696,16 +799,16 @@ impl Runner {
                     // Doomed operations are drawn at start: they schedule
                     // their abort instead of their completion.
                     let doomed = self.faults.creation_fails(host.raw() as usize);
-                    self.cluster.start_creation(vm, host, now, ends);
+                    let seq = self.cluster.start_creation(vm, host, now, ends);
                     self.note(now, AuditKind::CreationStarted { vm, host });
                     match doomed {
                         Some(frac) => {
                             let abort_at = now + dur.mul_f64(frac);
                             self.sim
-                                .schedule_at(abort_at, Event::CreationAborted(vm, ends));
+                                .schedule_at(abort_at, Event::CreationAborted(vm, seq));
                         }
                         None => {
-                            self.sim.schedule_at(ends, Event::CreationDone(vm));
+                            self.sim.schedule_at(ends, Event::CreationDone(vm, seq));
                         }
                     }
                     self.touch(host, now);
@@ -731,16 +834,16 @@ impl Runner {
                     let dur = self.op_duration(mean, self.cfg.migration_jitter_std);
                     let ends = now + dur;
                     let doomed = self.faults.migration_aborts(to.raw() as usize);
-                    self.cluster.start_migration(vm, to, now, ends);
+                    let seq = self.cluster.start_migration(vm, to, now, ends);
                     self.note(now, AuditKind::MigrationStarted { vm, from, to });
                     match doomed {
                         Some(frac) => {
                             let abort_at = now + dur.mul_f64(frac);
                             self.sim
-                                .schedule_at(abort_at, Event::MigrationAborted(vm, ends));
+                                .schedule_at(abort_at, Event::MigrationAborted(vm, seq));
                         }
                         None => {
-                            self.sim.schedule_at(ends, Event::MigrationDone(vm));
+                            self.sim.schedule_at(ends, Event::MigrationDone(vm, seq));
                         }
                     }
                     self.touch(from, now);
@@ -792,6 +895,7 @@ impl Runner {
     // ----- power management (§III-C) ----------------------------------------
 
     fn adjust_power(&mut self, now: SimTime) {
+        let _span = self.obs.span("adjust_power", now);
         let mut candidates = std::mem::take(&mut self.power_scratch);
         // Turn on: working/online above λ_max, or unplaceable queue.
         loop {
@@ -820,6 +924,13 @@ impl Runner {
             let pick = self.policy.rank_power_on(&self.cluster, &candidates)[0];
             let ready_at = self.cluster.begin_power_on(pick, now);
             self.note(now, AuditKind::HostPoweringOn { host: pick });
+            self.obs.record(
+                now,
+                ObsEvent::PowerFlip {
+                    host: pick.raw(),
+                    state: PowerFlipKind::Booting,
+                },
+            );
             self.sim.schedule_at(ready_at, Event::BootDone(pick));
             // A booting host counts as online, so the ratio falls and the
             // loop converges; the stuck-queue rule boots at most one.
@@ -860,6 +971,13 @@ impl Runner {
             self.cancel_fault_timers(pick);
             let off_at = self.cluster.begin_power_off(pick, now);
             self.note(now, AuditKind::HostPoweringOff { host: pick });
+            self.obs.record(
+                now,
+                ObsEvent::PowerFlip {
+                    host: pick.raw(),
+                    state: PowerFlipKind::ShuttingDown,
+                },
+            );
             self.sim.schedule_at(off_at, Event::ShutdownDone(pick));
         }
         self.power_scratch = candidates;
@@ -923,6 +1041,14 @@ impl Runner {
     /// Crashes an `On` host: displaces its VMs back to the queue, counts
     /// it toward the flapping blacklist, and schedules the repair.
     fn crash_host(&mut self, h: HostId, now: SimTime, repair_after: SimDuration) {
+        let _span = self.obs.span("crash_host", now);
+        self.obs.record(
+            now,
+            ObsEvent::Fault {
+                kind: FaultKind::Crash,
+                host: h.raw(),
+            },
+        );
         self.cancel_fault_timers(h);
         let displaced = self.cluster.fail_host(h, now);
         self.note(
@@ -980,6 +1106,7 @@ impl Runner {
         let backoff = self.faults.plan().recovery.backoff(attempts);
         self.retry.get_mut(&vm).expect("just inserted").eligible = now + backoff;
         self.fstats.retries_delayed += 1;
+        self.obs.observe(self.retry_hist, f64::from(attempts));
         self.sim.schedule_after(backoff, Event::RetryRelease(vm));
     }
 
@@ -988,6 +1115,13 @@ impl Runner {
     fn record_recovery(&mut self, vm: VmId, now: SimTime) {
         if let Some(t0) = self.displaced_at.remove(&vm) {
             let dt = now.saturating_since(t0).as_secs_f64();
+            self.obs.record(
+                now,
+                ObsEvent::Recovery {
+                    kind: RecoveryKind::VmRecovered,
+                    id: vm.raw(),
+                },
+            );
             self.fstats.recoveries += 1;
             self.recovery_total_secs += dt;
             if dt > self.fstats.max_recovery_secs {
@@ -1156,5 +1290,111 @@ impl Runner {
         report.jobs = self.outcomes;
         report.finalize_jobs();
         report
+    }
+}
+
+#[cfg(test)]
+mod seq_guard_tests {
+    use super::*;
+    use eards_model::{Cpu, HostClass, JobId, Mem};
+    use eards_policies::RandomPolicy;
+    use eards_workload::Trace;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn runner_with_two_hosts() -> Runner {
+        let hosts = vec![
+            HostSpec::standard(HostId(0), HostClass::Medium),
+            HostSpec::standard(HostId(1), HostClass::Medium),
+        ];
+        let job = Job::new(
+            JobId(0),
+            SimTime::ZERO,
+            Cpu(100),
+            Mem::gib(1),
+            SimDuration::from_secs(600),
+            1.5,
+        );
+        let mut r = Runner::new(
+            hosts,
+            Trace::new(vec![job]),
+            Box::new(RandomPolicy::new(1)),
+            RunConfig::default(),
+        );
+        for h in [HostId(0), HostId(1)] {
+            r.cluster.begin_power_on(h, SimTime::ZERO);
+            r.cluster.complete_power_on(h);
+        }
+        r
+    }
+
+    /// The abort-and-done-same-tick collision: a creation on host 0 is
+    /// killed by a host failure, the VM is re-created on host 1 with the
+    /// *same* completion instant, and the stale abort of the first attempt
+    /// then fires on the tick the second attempt completes. An end-time
+    /// identity token cannot tell the two operations apart — the sequence
+    /// number can.
+    #[test]
+    fn stale_abort_does_not_kill_reissued_creation() {
+        let mut r = runner_with_two_hosts();
+        let job = r.jobs[0].clone();
+        let vm = r.cluster.submit_job(job);
+        let seq1 = r.cluster.start_creation(vm, HostId(0), t(0), t(60));
+        // Host 0 dies mid-creation; the VM is displaced back to the queue.
+        r.cluster.fail_host(HostId(0), t(10));
+        // Re-created on host 1 with an identical end time.
+        let seq2 = r.cluster.start_creation(vm, HostId(1), t(10), t(60));
+        assert_ne!(seq1, seq2);
+        // The pre-seq identity token (vm, kind, ends) *does* collide with
+        // the live operation — the exact ambiguity this guard closes:
+        assert!(
+            r.cluster
+                .host(HostId(1))
+                .ops
+                .iter()
+                .any(|o| o.vm == vm && o.kind == eards_model::OpKind::Create && o.ends == t(60)),
+            "end-time token must collide for this regression to be meaningful"
+        );
+        // The stale abort lands on the live operation's completion tick
+        // and must be ignored.
+        assert!(r.handle(t(60), Event::CreationAborted(vm, seq1)).is_none());
+        assert_eq!(r.cluster.vm(vm).state, VmState::Creating);
+        assert_eq!(r.cluster.vm(vm).host, Some(HostId(1)));
+        // A stale completion with the dead sequence number is equally inert.
+        assert!(r.handle(t(60), Event::CreationDone(vm, seq1)).is_none());
+        assert_eq!(r.cluster.vm(vm).state, VmState::Creating);
+        // The live completion goes through.
+        assert!(r.handle(t(60), Event::CreationDone(vm, seq2)).is_some());
+        assert_eq!(r.cluster.vm(vm).state, VmState::Running);
+    }
+
+    /// Same collision for migrations: the stale abort of a dead migration
+    /// attempt must not tear down a re-issued migration that shares its
+    /// end time.
+    #[test]
+    fn stale_migration_abort_is_ignored() {
+        let mut r = runner_with_two_hosts();
+        let job = r.jobs[0].clone();
+        let vm = r.cluster.submit_job(job);
+        let cseq = r.cluster.start_creation(vm, HostId(0), t(0), t(40));
+        assert!(r.handle(t(40), Event::CreationDone(vm, cseq)).is_some());
+        // First migration attempt to host 1, aborted cleanly at t = 50.
+        let mseq1 = r.cluster.start_migration(vm, HostId(1), t(41), t(101));
+        assert!(r
+            .handle(t(50), Event::MigrationAborted(vm, mseq1))
+            .is_some());
+        assert_eq!(r.cluster.vm(vm).host, Some(HostId(0)));
+        // Second attempt with the same end time as the first.
+        let mseq2 = r.cluster.start_migration(vm, HostId(1), t(51), t(101));
+        assert_ne!(mseq1, mseq2);
+        // The first attempt's completion event is still in flight under an
+        // end-time token; with seq it is inert.
+        assert!(r.handle(t(101), Event::MigrationDone(vm, mseq1)).is_none());
+        assert!(matches!(r.cluster.vm(vm).state, VmState::Migrating { .. }));
+        assert!(r.handle(t(101), Event::MigrationDone(vm, mseq2)).is_some());
+        assert_eq!(r.cluster.vm(vm).host, Some(HostId(1)));
+        assert_eq!(r.cluster.vm(vm).state, VmState::Running);
     }
 }

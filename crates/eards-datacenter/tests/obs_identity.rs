@@ -1,0 +1,89 @@
+//! Property test for the observability layer's core guarantee: attaching
+//! an enabled [`Obs`] handle to a run changes *nothing* about the
+//! simulation — the full [`RunReport`] (aggregates, power series, per-job
+//! outcomes) and the audit trail are bit-identical to an untraced run,
+//! across random workloads, fleet sizes, seeds and fault intensities.
+//!
+//! The fingerprint goes through `Debug` formatting, which round-trips
+//! `f64` exactly, so even a 1-ulp perturbation from a misplaced hook
+//! would fail the property.
+
+use proptest::prelude::*;
+
+use eards_core::{ScoreConfig, ScoreScheduler};
+use eards_datacenter::{render_log, small_datacenter, AuditEvent, RunConfig, Runner};
+use eards_metrics::RunReport;
+use eards_model::{FaultPlan, HostClass};
+use eards_obs::Obs;
+use eards_sim::SimDuration;
+use eards_workload::{generate, SynthConfig};
+
+fn fingerprint(report: &RunReport, audit: &[AuditEvent]) -> String {
+    format!("{report:?}\n{}", render_log(audit))
+}
+
+fn run_with(
+    obs: &Obs,
+    hosts: u32,
+    hours: u64,
+    trace_seed: u64,
+    sim_seed: u64,
+    chaos: f64,
+) -> (RunReport, Vec<AuditEvent>) {
+    let trace = generate(
+        &SynthConfig {
+            span: SimDuration::from_hours(hours),
+            ..SynthConfig::grid5000_week()
+        },
+        trace_seed,
+    );
+    let mut cfg = RunConfig {
+        audit: true,
+        record_power_series: true,
+        seed: sim_seed,
+        ..RunConfig::default()
+    }
+    .with_obs(obs.clone());
+    if chaos > 0.0 {
+        cfg = cfg.with_faults(FaultPlan::chaos(chaos));
+    }
+    let policy = Box::new(ScoreScheduler::with_obs(ScoreConfig::full(), obs.clone()));
+    Runner::new(
+        small_datacenter(hosts, HostClass::Medium),
+        trace,
+        policy,
+        cfg,
+    )
+    .run_audited()
+}
+
+proptest! {
+    // Each case is two full simulation runs; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Tracing on vs off: bit-identical output, and the preallocated ring
+    /// never grows past its construction-time capacity.
+    #[test]
+    fn traced_run_is_bit_identical(
+        hosts in 3u32..10,
+        hours in 1u64..5,
+        trace_seed in 0u64..1000,
+        sim_seed in 0u64..1000,
+        chaos in prop_oneof![Just(0.0), Just(1.0), Just(2.0)],
+    ) {
+        let (r0, a0) = run_with(&Obs::disabled(), hosts, hours, trace_seed, sim_seed, chaos);
+        let obs = Obs::enabled(512); // small on purpose: overwrite path runs too
+        let (r1, a1) = run_with(&obs, hosts, hours, trace_seed, sim_seed, chaos);
+
+        prop_assert_eq!(fingerprint(&r0, &a0), fingerprint(&r1, &a1));
+        prop_assert!(obs.events_recorded() > 0, "the run produced no events");
+        let (len, allocated, dropped) = obs.ring_stats().unwrap();
+        prop_assert!(len <= 512, "ring holds at most its capacity");
+        prop_assert_eq!(allocated, 512, "ring never reallocated");
+        prop_assert_eq!(
+            obs.events_recorded(),
+            len as u64 + dropped,
+            "every recorded event is either retained or counted as dropped"
+        );
+    }
+}

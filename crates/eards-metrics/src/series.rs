@@ -133,13 +133,21 @@ impl TimeSeries {
 
     /// Resamples the signal at a fixed period over `[from, to]`, yielding
     /// `(time, value)` pairs — the shape plotting front-ends want.
-    /// Times before the first point sample as 0.
+    ///
+    /// Instants before the first recorded point are skipped rather than
+    /// fabricated as 0.0: the signal is *undefined* there, and a synthetic
+    /// zero row is indistinguishable from a real measurement downstream.
+    /// (This is deliberately different from [`TimeSeries::integral`] /
+    /// [`TimeSeries::mean`], where zero-before-start is a documented part
+    /// of the aggregate's definition.)
     pub fn resample(&self, from: SimTime, to: SimTime, period: SimDuration) -> Vec<(SimTime, f64)> {
         assert!(!period.is_zero(), "resample period must be positive");
         let mut out = Vec::new();
         let mut t = from;
         loop {
-            out.push((t, self.value_at(t).unwrap_or(0.0)));
+            if let Some(v) = self.value_at(t) {
+                out.push((t, v));
+            }
             if t >= to {
                 break;
             }
@@ -292,9 +300,25 @@ mod tests {
         let mut s = TimeSeries::new();
         s.record(t(2), 10.0);
         let samples = s.resample(t(0), t(6), SimDuration::from_secs(2));
+        // t = 0 precedes the first point: no fabricated 0.0 row.
+        assert_eq!(samples, vec![(t(2), 10.0), (t(4), 10.0), (t(6), 10.0)]);
+    }
+
+    #[test]
+    fn resample_skips_pre_start_instants() {
+        let mut s = TimeSeries::new();
+        s.record(t(5), 3.0);
+        // Entirely before the first point: nothing to report.
+        assert_eq!(s.resample(t(0), t(4), SimDuration::from_secs(1)), vec![]);
+        // Straddling the first point: only defined instants appear.
         assert_eq!(
-            samples,
-            vec![(t(0), 0.0), (t(2), 10.0), (t(4), 10.0), (t(6), 10.0)]
+            s.resample(t(3), t(7), SimDuration::from_secs(2)),
+            vec![(t(5), 3.0), (t(7), 3.0)]
+        );
+        // Empty series yields no samples at all.
+        assert_eq!(
+            TimeSeries::new().resample(t(0), t(10), SimDuration::from_secs(5)),
+            vec![]
         );
     }
 

@@ -116,6 +116,10 @@ pub struct Cluster {
     /// arrival order. Holds new arrivals and VMs displaced by failures.
     queue: Vec<VmId>,
     next_vm_id: u64,
+    /// Monotonic identity for in-flight operations. Timestamps cannot
+    /// serve as identity: an abort scheduled for the same tick as a later
+    /// operation's completion would collide on `ends`.
+    next_op_seq: u64,
 }
 
 impl Cluster {
@@ -136,7 +140,15 @@ impl Cluster {
             vms: HashMap::new(),
             queue: Vec::new(),
             next_vm_id: 0,
+            next_op_seq: 0,
         }
+    }
+
+    /// Hands out the next operation sequence number.
+    fn alloc_op_seq(&mut self) -> u64 {
+        let seq = self.next_op_seq;
+        self.next_op_seq += 1;
+        seq
     }
 
     // ----- read access ---------------------------------------------------
@@ -294,11 +306,14 @@ impl Cluster {
 
     /// Starts creating `vm` on `host`. The VM leaves the queue; its
     /// resources are committed; a creation op burns CPU until `ends`.
-    pub fn start_creation(&mut self, vm: VmId, host: HostId, now: SimTime, ends: SimTime) {
+    /// Returns the operation's sequence number, the token completion and
+    /// abort events must present to prove they refer to *this* operation.
+    pub fn start_creation(&mut self, vm: VmId, host: HostId, now: SimTime, ends: SimTime) -> u64 {
         assert!(
             self.can_place_overcommitted(host, vm),
             "start_creation on infeasible host (off, unsatisfied requirements, or out of memory)"
         );
+        let seq = self.alloc_op_seq();
         let v = self.vms.get_mut(&vm).expect("unknown VmId");
         assert_eq!(v.state, VmState::Queued, "only queued VMs can be created");
         v.state = VmState::Creating;
@@ -313,7 +328,9 @@ impl Cluster {
             started: now,
             ends,
             cpu_overhead: CREATION_CPU_OVERHEAD,
+            seq,
         });
+        seq
     }
 
     /// Completes a creation: the VM starts executing its job.
@@ -346,12 +363,15 @@ impl Cluster {
 
     /// Starts a live migration of `vm` to `to`. Resources are reserved on
     /// the destination; the VM keeps running on the source; both endpoints
-    /// pay a CPU overhead until `ends`.
-    pub fn start_migration(&mut self, vm: VmId, to: HostId, now: SimTime, ends: SimTime) {
+    /// pay a CPU overhead until `ends`. Returns the operation's sequence
+    /// number (shared by the `MigrateIn`/`MigrateOut` pair — one logical
+    /// operation, two bookkeeping entries).
+    pub fn start_migration(&mut self, vm: VmId, to: HostId, now: SimTime, ends: SimTime) -> u64 {
         assert!(
             self.can_place_overcommitted(to, vm),
             "migration target must be on, satisfy requirements, and have memory"
         );
+        let seq = self.alloc_op_seq();
         let v = self.vms.get_mut(&vm).expect("unknown VmId");
         assert_eq!(v.state, VmState::Running, "only running VMs migrate");
         let from = v.host.expect("running VM must have a host");
@@ -364,6 +384,7 @@ impl Cluster {
             started: now,
             ends,
             cpu_overhead: MIGRATION_CPU_OVERHEAD,
+            seq,
         });
         self.hosts[from.raw() as usize].ops.push(InFlightOp {
             vm,
@@ -371,7 +392,9 @@ impl Cluster {
             started: now,
             ends,
             cpu_overhead: MIGRATION_CPU_OVERHEAD,
+            seq,
         });
+        seq
     }
 
     /// Completes a migration: the VM now runs on the destination.
@@ -419,8 +442,10 @@ impl Cluster {
             .retain(|o| !(o.vm == vm && matches!(o.kind, OpKind::MigrateOut { .. })));
     }
 
-    /// Starts a checkpoint of a running VM.
-    pub fn start_checkpoint(&mut self, vm: VmId, now: SimTime, ends: SimTime) {
+    /// Starts a checkpoint of a running VM. Returns the operation's
+    /// sequence number.
+    pub fn start_checkpoint(&mut self, vm: VmId, now: SimTime, ends: SimTime) -> u64 {
+        let seq = self.alloc_op_seq();
         let v = self.vms.get_mut(&vm).expect("unknown VmId");
         assert_eq!(v.state, VmState::Running, "only running VMs checkpoint");
         v.state = VmState::Checkpointing;
@@ -431,7 +456,9 @@ impl Cluster {
             started: now,
             ends,
             cpu_overhead: CHECKPOINT_CPU_OVERHEAD,
+            seq,
         });
+        seq
     }
 
     /// Completes a checkpoint, storing the VM's progress at `now`.

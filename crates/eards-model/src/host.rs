@@ -178,6 +178,10 @@ pub struct InFlightOp {
     /// CPU the operation consumes on this host while in flight
     /// (dom0 work: copying memory pages, unpacking images…).
     pub cpu_overhead: Cpu,
+    /// Cluster-wide monotonic identity. Completion/abort events carry it
+    /// so a stale event cannot be mistaken for a later operation on the
+    /// same VM that happens to share a timestamp.
+    pub seq: u64,
 }
 
 impl InFlightOp {
@@ -259,6 +263,7 @@ mod tests {
             started: SimTime::from_secs(5),
             ends: SimTime::from_secs(45),
             cpu_overhead: Cpu(50),
+            seq: 0,
         };
         assert_eq!(op.cost(), SimDuration::from_secs(40));
     }

@@ -1,0 +1,226 @@
+//! The typed event taxonomy of the simulation trace.
+//!
+//! Events are small `Copy` values built from ids and numbers — recording
+//! one is a struct copy into the preallocated ring, no formatting and no
+//! allocation. Formatting happens only at export time.
+
+/// What kind of fault transition an [`ObsEvent::Fault`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A host crashed while `On`.
+    Crash,
+    /// A boot attempt failed.
+    BootFailure,
+    /// An in-flight VM creation aborted.
+    CreationAbort,
+    /// An in-flight live migration aborted.
+    MigrationAbort,
+    /// A transient slowdown episode started.
+    SlowdownStart,
+    /// A slowdown episode ended.
+    SlowdownEnd,
+    /// A correlated rack outage struck.
+    RackOutage,
+}
+
+impl FaultKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::Crash => "crash",
+            FaultKind::BootFailure => "boot_failure",
+            FaultKind::CreationAbort => "creation_abort",
+            FaultKind::MigrationAbort => "migration_abort",
+            FaultKind::SlowdownStart => "slowdown_start",
+            FaultKind::SlowdownEnd => "slowdown_end",
+            FaultKind::RackOutage => "rack_outage",
+        }
+    }
+}
+
+/// What kind of recovery an [`ObsEvent::Recovery`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryKind {
+    /// A failed host became bootable again.
+    HostRepaired,
+    /// A displaced/failed VM finally came up somewhere.
+    VmRecovered,
+}
+
+impl RecoveryKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            RecoveryKind::HostRepaired => "host_repaired",
+            RecoveryKind::VmRecovered => "vm_recovered",
+        }
+    }
+}
+
+/// Power-state transition recorded by an [`ObsEvent::PowerFlip`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowerFlipKind {
+    /// Boot initiated.
+    Booting,
+    /// Boot completed; host is up.
+    On,
+    /// Graceful shutdown initiated.
+    ShuttingDown,
+    /// Shutdown completed; host is off.
+    Off,
+}
+
+impl PowerFlipKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            PowerFlipKind::Booting => "booting",
+            PowerFlipKind::On => "on",
+            PowerFlipKind::ShuttingDown => "shutting_down",
+            PowerFlipKind::Off => "off",
+        }
+    }
+}
+
+/// One typed simulation event.
+///
+/// Host and VM identities are raw ids (`u32`/`u64`) rather than the model
+/// crate's newtypes so this crate sits below `eards-model` in the
+/// dependency graph and every layer can record into it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ObsEvent {
+    /// One scheduling round ran.
+    ScheduleRound {
+        /// Why the round ran (`ScheduleReason` as a static string).
+        reason: &'static str,
+        /// Actions the policy emitted.
+        actions: u32,
+        /// Queue length entering the round.
+        queued: u32,
+    },
+    /// Per-penalty attribution of one chosen move's score (§III-A of the
+    /// paper: the score is a sum of penalties; this records each term).
+    ScoreAttribution {
+        /// The VM being placed or migrated.
+        vm: u64,
+        /// Destination host.
+        host: u32,
+        /// `true` for a migration, `false` for a creation.
+        migration: bool,
+        /// `P_virt + P_conc` (the static move-in penalties).
+        movein: f64,
+        /// `P_pwr` (power-state penalty/credit).
+        pwr: f64,
+        /// `P_SLA` projection penalty.
+        sla: f64,
+        /// `P_fault` reliability penalty.
+        fault: f64,
+        /// The full score (sum of all terms).
+        total: f64,
+    },
+    /// A VM creation completed.
+    Creation {
+        /// The created VM.
+        vm: u64,
+        /// The host it runs on.
+        host: u32,
+    },
+    /// A live migration completed.
+    Migration {
+        /// The migrated VM.
+        vm: u64,
+        /// Source host.
+        from: u32,
+        /// Destination host.
+        to: u32,
+    },
+    /// A fault transition.
+    Fault {
+        /// What failed.
+        kind: FaultKind,
+        /// The host involved.
+        host: u32,
+    },
+    /// A recovery transition.
+    Recovery {
+        /// What recovered.
+        kind: RecoveryKind,
+        /// The host (or the recovered VM's id for `VmRecovered`).
+        id: u64,
+    },
+    /// A host power-state flip.
+    PowerFlip {
+        /// The host flipping state.
+        host: u32,
+        /// The state it entered.
+        state: PowerFlipKind,
+    },
+}
+
+impl ObsEvent {
+    /// Stable event-kind tag used by the JSONL/Chrome exports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::ScheduleRound { .. } => "schedule_round",
+            ObsEvent::ScoreAttribution { .. } => "score_attribution",
+            ObsEvent::Creation { .. } => "creation",
+            ObsEvent::Migration { .. } => "migration",
+            ObsEvent::Fault { .. } => "fault",
+            ObsEvent::Recovery { .. } => "recovery",
+            ObsEvent::PowerFlip { .. } => "power_flip",
+        }
+    }
+
+    /// Appends the event's fields as JSON object members (no braces, no
+    /// leading comma) to `out`.
+    pub(crate) fn append_fields(&self, out: &mut String) {
+        use crate::export::push_f64;
+        use std::fmt::Write;
+        match *self {
+            ObsEvent::ScheduleRound {
+                reason,
+                actions,
+                queued,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"reason\":\"{reason}\",\"actions\":{actions},\"queued\":{queued}"
+                );
+            }
+            ObsEvent::ScoreAttribution {
+                vm,
+                host,
+                migration,
+                movein,
+                pwr,
+                sla,
+                fault,
+                total,
+            } => {
+                let _ = write!(out, "\"vm\":{vm},\"host\":{host},\"migration\":{migration}");
+                out.push_str(",\"movein\":");
+                push_f64(out, movein);
+                out.push_str(",\"pwr\":");
+                push_f64(out, pwr);
+                out.push_str(",\"sla\":");
+                push_f64(out, sla);
+                out.push_str(",\"fault\":");
+                push_f64(out, fault);
+                out.push_str(",\"total\":");
+                push_f64(out, total);
+            }
+            ObsEvent::Creation { vm, host } => {
+                let _ = write!(out, "\"vm\":{vm},\"host\":{host}");
+            }
+            ObsEvent::Migration { vm, from, to } => {
+                let _ = write!(out, "\"vm\":{vm},\"from\":{from},\"to\":{to}");
+            }
+            ObsEvent::Fault { kind, host } => {
+                let _ = write!(out, "\"fault\":\"{}\",\"host\":{host}", kind.as_str());
+            }
+            ObsEvent::Recovery { kind, id } => {
+                let _ = write!(out, "\"recovery\":\"{}\",\"id\":{id}", kind.as_str());
+            }
+            ObsEvent::PowerFlip { host, state } => {
+                let _ = write!(out, "\"host\":{host},\"state\":\"{}\"", state.as_str());
+            }
+        }
+    }
+}

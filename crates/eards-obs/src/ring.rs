@@ -1,0 +1,121 @@
+//! A fixed-capacity overwriting ring buffer.
+//!
+//! All storage is allocated at construction; pushing beyond capacity
+//! overwrites the oldest entry and bumps a drop counter. This is the
+//! no-allocation guarantee behind the recorder's "zero surprise on the
+//! hot path" contract: recording an event is an index write, never a
+//! `Vec` growth.
+
+/// Fixed-capacity ring holding the most recent `capacity` entries.
+#[derive(Debug, Clone)]
+pub struct EventRing<T> {
+    buf: Vec<T>,
+    capacity: usize,
+    /// Index of the oldest entry once the ring is full.
+    head: usize,
+    dropped: u64,
+}
+
+impl<T> EventRing<T> {
+    /// Creates a ring with all storage preallocated. A zero capacity is
+    /// clamped to one (a recorder that can hold nothing records nothing
+    /// useful, but must stay well-defined).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventRing {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends `entry`, overwriting the oldest entry when full.
+    pub fn push(&mut self, entry: T) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(entry);
+        } else {
+            self.buf[self.head] = entry;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of entries overwritten so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The ring's configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The backing vector's *actual* allocated capacity — exposed so
+    /// tests can prove the ring never reallocates after construction.
+    pub fn allocated(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Iterates retained entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_most_recent_in_order() {
+        let mut r = EventRing::new(3);
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything() {
+        let mut r = EventRing::new(8);
+        r.push("a");
+        r.push("b");
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec!["a", "b"]);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = EventRing::new(0);
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.capacity(), 1);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn allocation_is_fixed() {
+        let mut r = EventRing::new(10);
+        let cap0 = r.allocated();
+        for i in 0..100 {
+            r.push(i);
+        }
+        assert_eq!(r.allocated(), cap0);
+    }
+}

@@ -138,20 +138,31 @@ impl<E> WheelQueue<E> {
 
     fn place(&mut self, ms: u64, seq: u64, payload: E) {
         let delta = ms - self.cursor;
-        if delta >= HORIZON {
-            self.overflow.insert((ms, seq), payload);
-            return;
-        }
-        // Find the level whose span contains the delta.
-        for (level, &width) in SLOT_WIDTH.iter().enumerate() {
-            let span = width * SLOTS as u64;
-            if delta < span {
-                let slot = ((ms / width) % SLOTS as u64) as usize;
-                self.wheels[level].push(slot, (ms, seq, payload));
-                return;
+        if delta < HORIZON {
+            // Find the level whose span contains the delta.
+            for (level, &width) in SLOT_WIDTH.iter().enumerate() {
+                let span = width * SLOTS as u64;
+                if delta < span {
+                    let slot = ((ms / width) % SLOTS as u64) as usize;
+                    let cursor_slot = ((self.cursor / width) % SLOTS as u64) as usize;
+                    // The level is chosen by delta but the slot by absolute
+                    // time, so once the cursor has advanced, a delta just
+                    // under the level's span can wrap onto the cursor's own
+                    // slot — a *next-rotation* entry that the in-order slot
+                    // scan would mistake for the level minimum. Promote it
+                    // one level up (the wider slot cannot wrap for this
+                    // delta); past the top level it joins the overflow.
+                    if slot == cursor_slot && delta >= width {
+                        continue;
+                    }
+                    self.wheels[level].push(slot, (ms, seq, payload));
+                    return;
+                }
             }
         }
-        unreachable!("delta < HORIZON implies a level matched");
+        // Beyond the horizon, or wrapped onto the cursor's top-level slot:
+        // the overflow map keeps exact order.
+        self.overflow.insert((ms, seq), payload);
     }
 
     /// Cancels a pending event; `true` if it was live.
@@ -335,37 +346,19 @@ impl<E> WheelQueue<E> {
         self.cascade(level);
     }
 
-    /// Re-places every entry in the current slot of `level` into lower
-    /// levels (entries whose time already passed go to the cursor slot).
+    /// Re-places every entry in the current slot of `level` through
+    /// [`WheelQueue::place`], which routes each to the deepest level whose
+    /// slot does not wrap (entries whose time already passed go to the
+    /// cursor slot of level 0).
     fn cascade(&mut self, level: usize) {
         let slot = ((self.cursor / SLOT_WIDTH[level]) % SLOTS as u64) as usize;
         let entries: Vec<Entry<E>> = self.wheels[level].slots[slot].drain(..).collect();
         self.wheels[level].mark(slot);
         for (ms, seq, payload) in entries {
-            if self.cancelled.contains(&seq) {
-                self.cancelled.remove(&seq);
+            if self.cancelled.remove(&seq) {
                 continue;
             }
-            let ms = ms.max(self.cursor);
-            let delta = ms - self.cursor;
-            if delta < SLOT_WIDTH[level] {
-                // Belongs below this level now.
-                let mut placed = false;
-                for (lower, &width) in SLOT_WIDTH.iter().enumerate().take(level) {
-                    if delta < width * SLOTS as u64 {
-                        let s = ((ms / width) % SLOTS as u64) as usize;
-                        self.wheels[lower].push(s, (ms, seq, payload));
-                        placed = true;
-                        break;
-                    }
-                }
-                debug_assert!(placed, "cascade must place into a lower level");
-            } else {
-                // Still belongs at this level (same slot round trip can't
-                // happen because we drained the current slot).
-                let s = ((ms / SLOT_WIDTH[level]) % SLOTS as u64) as usize;
-                self.wheels[level].push(s, (ms, seq, payload));
-            }
+            self.place(ms.max(self.cursor), seq, payload);
         }
     }
 }
@@ -451,6 +444,88 @@ mod tests {
         assert_eq!(q.pop().unwrap().2, "A", "scheduled first, pops first");
         assert_eq!(q.pop().unwrap().2, "B");
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn horizon_boundary_from_origin() {
+        // HORIZON-1 is the last wheel-resident delta; HORIZON and beyond
+        // belong to the overflow. All three must pop in time order.
+        let mut q = WheelQueue::new();
+        q.schedule(t(HORIZON + 1), "past");
+        q.schedule(t(HORIZON), "edge");
+        q.schedule(t(HORIZON - 1), "inside");
+        assert_eq!(q.peek_time(), Some(t(HORIZON - 1)));
+        assert_eq!(q.pop().unwrap().2, "inside");
+        assert_eq!(q.pop().unwrap().2, "edge");
+        assert_eq!(q.pop().unwrap().2, "past");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn horizon_edge_after_cursor_advance() {
+        // With the cursor advanced off zero, a delta just under HORIZON
+        // wraps onto the cursor's own top-level slot (next rotation). The
+        // level scan must not mistake it for the level minimum.
+        let mut q = WheelQueue::new();
+        q.schedule(t(1000), "tick");
+        assert_eq!(q.pop().unwrap().2, "tick");
+        // delta = HORIZON - 1000: wheel-resident, absolute slot wraps to 0.
+        q.schedule(t(HORIZON), "edge");
+        q.schedule(t(SLOT_WIDTH[2] * 3 + 5), "early");
+        assert_eq!(q.peek_time(), Some(t(SLOT_WIDTH[2] * 3 + 5)));
+        assert_eq!(q.pop().unwrap().2, "early");
+        assert_eq!(q.pop().unwrap().2, "edge");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn horizon_boundaries_after_cursor_advance_pop_in_order() {
+        let mut q = WheelQueue::new();
+        q.schedule(t(300), "tick");
+        assert_eq!(q.pop().unwrap().2, "tick");
+        let base = 300;
+        q.schedule(t(base + HORIZON + 1), "past");
+        q.schedule(t(base + HORIZON), "edge");
+        q.schedule(t(base + HORIZON - 1), "inside");
+        assert_eq!(q.peek_time(), Some(t(base + HORIZON - 1)));
+        assert_eq!(q.pop().unwrap().2, "inside");
+        assert_eq!(q.pop().unwrap().2, "edge");
+        assert_eq!(q.pop().unwrap().2, "past");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedules_near_horizon_match_model() {
+        // Drive the wheel against a BTreeMap model with schedule deltas
+        // spanning the horizon while the cursor keeps moving, which is
+        // exactly the regime where slot wrap-around can corrupt ordering.
+        let mut q = WheelQueue::new();
+        let mut rng = crate::SimRng::seed_from_u64(0xEA2D5);
+        let mut model: BTreeMap<(u64, u64), u32> = BTreeMap::new();
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        for round in 0..200u32 {
+            for i in 0..8 {
+                let delta = rng.next_u64() % (HORIZON + HORIZON / 4);
+                let ms = now + delta;
+                q.schedule(t(ms), round * 8 + i);
+                model.insert((ms, seq), round * 8 + i);
+                seq += 1;
+            }
+            for _ in 0..6 {
+                let (at, _, p) = q.pop().unwrap();
+                let (&key, &id) = model.iter().next().unwrap();
+                assert_eq!((at.as_millis(), p), (key.0, id));
+                model.remove(&key);
+                now = at.as_millis();
+            }
+        }
+        while let Some((at, _, p)) = q.pop() {
+            let (&key, &id) = model.iter().next().unwrap();
+            assert_eq!((at.as_millis(), p), (key.0, id));
+            model.remove(&key);
+        }
+        assert!(model.is_empty());
     }
 
     #[test]
