@@ -1,0 +1,41 @@
+//! Times a full `eards lint` pass over the workspace and writes
+//! `BENCH_lint.json` next to the other machine-readable baselines.
+//!
+//! The gate runs on every CI push, so it gets a wall-time budget like the
+//! solver and observability layers: the whole walk-lex-match pass must
+//! stay under [`BUDGET_MS`] or this bin exits non-zero.
+
+use std::path::Path;
+
+/// Wall-time budget for one full workspace lint pass.
+const BUDGET_MS: u128 = 2000;
+
+fn main() {
+    let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    #[allow(clippy::disallowed_methods)] // benchmarking wall time is the point
+    let t0 = std::time::Instant::now();
+    let run = eards_lint::lint_workspace(root).expect("workspace walk");
+    let wall_ms = t0.elapsed().as_millis();
+    let json = format!(
+        "{{\"files\":{},\"findings\":{},\"wall_ms\":{},\"budget_ms\":{},\"within_budget\":{}}}\n",
+        run.files,
+        run.findings.len(),
+        wall_ms,
+        BUDGET_MS,
+        wall_ms <= BUDGET_MS
+    );
+    let path = root.join("BENCH_lint.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("wrote {} ({} bytes)", path.display(), json.len()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+    eprintln!(
+        "lint pass: {} files, {} finding(s), {wall_ms} ms (budget {BUDGET_MS} ms)",
+        run.files,
+        run.findings.len()
+    );
+    if wall_ms > BUDGET_MS {
+        eprintln!("!! lint wall time exceeds budget");
+        std::process::exit(1);
+    }
+}

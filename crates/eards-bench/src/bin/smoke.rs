@@ -21,6 +21,7 @@ fn main() {
         ("DBF", 5),
         ("SB 40-90", 6),
     ] {
+        #[allow(clippy::disallowed_methods)] // smoke run reports wall time
         let t0 = std::time::Instant::now();
         let policy: Box<dyn eards_model::Policy> = match mk {
             0 => Box::new(RandomPolicy::new(1)),

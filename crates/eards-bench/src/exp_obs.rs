@@ -60,6 +60,7 @@ fn run_once(
     }
     .with_obs(obs.clone());
     let policy = Box::new(ScoreScheduler::with_obs(ScoreConfig::sb(), obs.clone()));
+    #[allow(clippy::disallowed_methods)] // benchmarking wall time is the point
     let start = Instant::now();
     let (report, audit) = Runner::new(hosts.to_vec(), trace.clone(), policy, cfg).run_audited();
     let elapsed = start.elapsed();

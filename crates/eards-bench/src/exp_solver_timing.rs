@@ -41,6 +41,7 @@ fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
     let mut best = f64::INFINITY;
     let mut last = None;
     for _ in 0..reps {
+        #[allow(clippy::disallowed_methods)] // solver timing measures wall time
         let t = Instant::now();
         let r = f();
         best = best.min(t.elapsed().as_secs_f64());

@@ -25,6 +25,8 @@ USAGE:
   eards trace info <FILE.swf>                      summarize an SWF trace
   eards trace check [--jsonl F] [--chrome F] [--metrics F]
                                                    validate exported observability files
+  eards lint     [--baseline F] [--format text|json] [--write-baseline]
+                                                   determinism/safety lints over the sources
   eards help                                       this text
 
 COMMON FLAGS:
@@ -67,6 +69,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "compare" => compare_cmd(rest),
         "sweep" => sweep_cmd(rest),
         "trace" => trace_cmd(rest),
+        "lint" => crate::lint::lint_cmd(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?}; try `eards help`"

@@ -15,6 +15,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod lint;
 pub mod setup;
 
 pub use commands::{dispatch, USAGE};

@@ -1,0 +1,139 @@
+//! `eards lint` — the determinism/simulation-safety gate over the
+//! workspace sources (see the `eards-lint` crate for the rules).
+
+use std::path::PathBuf;
+
+use eards_lint::{find_workspace_root, lint_workspace, report, Baseline};
+
+use crate::args::ArgSpec;
+use crate::setup::CliError;
+
+/// Default baseline location, workspace-relative.
+pub const DEFAULT_BASELINE: &str = "lint-baseline.toml";
+
+/// Runs the lint gate.
+///
+/// `eards lint [--baseline FILE] [--format text|json] [--write-baseline]
+/// [--root DIR]`
+///
+/// Exit behavior: clean runs return the report as normal output;
+/// new findings return [`CliError::Lint`] so the binary exits 1 with
+/// the report on stdout.
+pub fn lint_cmd(tokens: &[String]) -> Result<String, CliError> {
+    let args = ArgSpec::new(&["baseline", "format", "root"], &["write-baseline"])
+        .parse(tokens.to_vec())?;
+    let format = args.value("format").unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        return Err(CliError::Usage(format!(
+            "--format must be text or json, not {format:?}"
+        )));
+    }
+    let root = match args.value("root") {
+        Some(dir) => PathBuf::from(dir),
+        None => {
+            let cwd = std::env::current_dir()?;
+            find_workspace_root(&cwd).ok_or_else(|| {
+                CliError::Usage(
+                    "not inside a cargo workspace (no Cargo.toml with [workspace] above \
+                     the current directory); pass --root DIR"
+                        .into(),
+                )
+            })?
+        }
+    };
+    let run = lint_workspace(&root)?;
+
+    let baseline_path = root.join(args.value("baseline").unwrap_or(DEFAULT_BASELINE));
+    if args.switch("write-baseline") {
+        let text = Baseline::render(&run.findings);
+        std::fs::write(&baseline_path, &text)?;
+        return Ok(format!(
+            "lint: {} files scanned; baseline with {} finding(s) written to {}\n",
+            run.files,
+            run.findings.len(),
+            baseline_path.display()
+        ));
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => Baseline::parse(&text).map_err(CliError::Usage)?,
+        // No baseline file is fine: everything is "new".
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+        Err(e) => return Err(CliError::Io(e)),
+    };
+    let outcome = baseline.apply(run.findings);
+    let rendered = match format {
+        "json" => report::render_json(run.files, &outcome),
+        _ => report::render_text(run.files, &outcome),
+    };
+    if outcome.new.is_empty() {
+        Ok(rendered)
+    } else {
+        Err(CliError::Lint(rendered))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    /// Builds a scratch "workspace" with one offending file and lints it.
+    fn scratch(name: &str, file_rel: &str, src: &str) -> PathBuf {
+        let root = std::env::temp_dir().join(format!("eards_lint_cli_{name}"));
+        let file = root.join(file_rel);
+        std::fs::create_dir_all(file.parent().unwrap()).unwrap();
+        std::fs::write(root.join("Cargo.toml"), "[workspace]\n").unwrap();
+        std::fs::write(&file, src).unwrap();
+        root
+    }
+
+    #[test]
+    fn clean_tree_passes_and_json_is_shaped() {
+        let root = scratch(
+            "clean",
+            "crates/eards-model/src/ok.rs",
+            "pub fn f(x: f64, y: f64) -> std::cmp::Ordering { x.total_cmp(&y) }\n",
+        );
+        let out = lint_cmd(&toks(&format!("--root {}", root.display()))).unwrap();
+        assert!(out.contains("0 new"), "{out}");
+        let json = lint_cmd(&toks(&format!("--root {} --format json", root.display()))).unwrap();
+        assert!(json.contains("\"new\":[]"), "{json}");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn findings_fail_until_baselined() {
+        let root = scratch(
+            "dirty",
+            "crates/eards-model/src/bad.rs",
+            "pub fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n",
+        );
+        let err = lint_cmd(&toks(&format!("--root {}", root.display()))).unwrap_err();
+        match err {
+            CliError::Lint(report) => assert!(report.contains("D004"), "{report}"),
+            other => panic!("expected lint failure, got {other:?}"),
+        }
+        // Grandfather it, then the same tree passes.
+        let wrote = lint_cmd(&toks(&format!(
+            "--root {} --write-baseline",
+            root.display()
+        )))
+        .unwrap();
+        assert!(wrote.contains("baseline"), "{wrote}");
+        let out = lint_cmd(&toks(&format!("--root {}", root.display()))).unwrap();
+        assert!(out.contains("grandfathered"), "{out}");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn bad_format_is_a_usage_error() {
+        assert!(matches!(
+            lint_cmd(&toks("--format yaml")),
+            Err(CliError::Usage(_))
+        ));
+    }
+}

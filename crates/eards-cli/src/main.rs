@@ -4,6 +4,12 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match eards_cli::dispatch(&argv) {
         Ok(output) => print!("{output}"),
+        Err(eards_cli::CliError::Lint(report)) => {
+            // New lint findings: the report IS the output; exit 1 (vs. 2
+            // for invocation errors) so CI and scripts can tell them apart.
+            print!("{report}");
+            std::process::exit(1);
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(2);

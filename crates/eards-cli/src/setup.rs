@@ -20,6 +20,10 @@ pub enum CliError {
     Usage(String),
     /// I/O problem.
     Io(std::io::Error),
+    /// Lint gate failure: the rendered report. Printed verbatim (no
+    /// `error:` prefix) and exits 1 rather than 2, so CI logs show the
+    /// findings and scripts can tell "new findings" from "bad invocation".
+    Lint(String),
 }
 
 impl From<ArgError> for CliError {
@@ -40,6 +44,7 @@ impl std::fmt::Display for CliError {
             CliError::Args(e) => write!(f, "{e}"),
             CliError::Usage(s) => write!(f, "{s}"),
             CliError::Io(e) => write!(f, "{e}"),
+            CliError::Lint(report) => write!(f, "{report}"),
         }
     }
 }

@@ -247,11 +247,7 @@ impl Policy for ScoreScheduler {
             .collect();
         // More infeasible cells first, then higher aggregate cost, then
         // higher id (turn off the "back" of the datacenter first).
-        scored.sort_by(|a, b| {
-            b.0.cmp(&a.0)
-                .then(b.1.partial_cmp(&a.1).expect("finite sums"))
-                .then(b.2.cmp(&a.2))
-        });
+        scored.sort_by(|a, b| b.0.cmp(&a.0).then(b.1.total_cmp(&a.1)).then(b.2.cmp(&a.2)));
         scored.into_iter().map(|(_, _, h)| h).collect()
     }
 
@@ -270,8 +266,7 @@ impl Policy for ScoreScheduler {
                 // Effective reliability, so blacklisted hosts boot last.
                 cluster
                     .effective_reliability(b)
-                    .partial_cmp(&cluster.effective_reliability(a))
-                    .expect("reliability is finite")
+                    .total_cmp(&cluster.effective_reliability(a))
             } else {
                 std::cmp::Ordering::Equal
             };
@@ -484,6 +479,57 @@ mod tests {
         let sched = ScoreScheduler::new(ScoreConfig::sb1());
         let ranked = sched.rank_power_off(&c, SimTime::ZERO, &[HostId(0), HostId(1)]);
         assert_eq!(ranked, vec![HostId(1), HostId(0)]);
+    }
+
+    #[test]
+    fn rank_power_off_tiebreak_matches_partial_cmp_reference() {
+        // `total_cmp` replaced `partial_cmp(..).expect(..)` in the
+        // power-off ranking (lint D004). For the finite sums the solver
+        // produces the two comparators must order identically — Tables
+        // II–IV depend on the exact host sequence — so pin the ranking
+        // against a reference sort using the old comparator, across
+        // cluster shapes that include equal-sum ties (identical classes).
+        for (shape, queued) in [
+            (vec![HostClass::Medium; 4], vec![(1u64, 100u32, 600u64)]),
+            (
+                vec![
+                    HostClass::Fast,
+                    HostClass::Medium,
+                    HostClass::Medium,
+                    HostClass::Slow,
+                ],
+                vec![(1, 150, 900), (2, 300, 1200)],
+            ),
+            (vec![HostClass::Fast, HostClass::Slow], vec![]),
+        ] {
+            let mut c = cluster(&shape);
+            for &(id, cpu, dur) in &queued {
+                let _ = c.submit_job(job(id, cpu, dur));
+            }
+            let candidates: Vec<HostId> = (0..shape.len() as u32).map(HostId).collect();
+            let sched = ScoreScheduler::new(ScoreConfig::sb1());
+            let ranked = sched.rank_power_off(&c, SimTime::ZERO, &candidates);
+
+            let mut cols = Vec::new();
+            sched.candidate_vms_into(&c, false, &mut cols);
+            let mut eval = Eval::new(&c, &sched.cfg, SimTime::ZERO, cols);
+            let mut matrix = ScoreMatrix::new(&mut eval);
+            let mut scored: Vec<(usize, f64, HostId)> = candidates
+                .iter()
+                .map(|&h| {
+                    let (infs, sum) = matrix.row_aggregate(h.raw() as usize);
+                    (infs, sum, h)
+                })
+                .collect();
+            scored.sort_by(|a, b| {
+                b.0.cmp(&a.0)
+                    // lint:allow(D004): the old comparator IS the oracle here
+                    .then(b.1.partial_cmp(&a.1).expect("finite sums"))
+                    .then(b.2.cmp(&a.2))
+            });
+            let reference: Vec<HostId> = scored.into_iter().map(|(_, _, h)| h).collect();
+            assert_eq!(ranked, reference, "shape {shape:?}");
+        }
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub struct InvariantAuditor {
     checks: u64,
     violations: u64,
     messages: Vec<String>,
+    // lint:allow(D001): duplicate-detection via insert() only, never iterated
     seen: HashSet<VmId>,
 }
 

@@ -17,7 +17,7 @@
 //!
 //! [`ScoreScheduler`]: eards_core::ScoreScheduler
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use eards_metrics::{
     delay_pct, satisfaction, FaultStats, JobOutcome, RunReport, TimeSeries, TimeWeighted,
@@ -98,20 +98,25 @@ pub struct Runner {
 
     sim: Simulator<Event>,
     rng: SimRng,
+    // lint:allow(D001): keyed removal/insertion only, never iterated
     completion: HashMap<VmId, EventHandle>,
-    failure_timer: HashMap<HostId, EventHandle>,
+    // BTreeMap, not HashMap: the invariant auditor iterates both timer
+    // maps, and audit order must not depend on hasher state (lint D001).
+    failure_timer: BTreeMap<HostId, EventHandle>,
     /// The pending slowdown-start *or* slowdown-end timer of each host.
-    slowdown_timer: HashMap<HostId, EventHandle>,
+    slowdown_timer: BTreeMap<HostId, EventHandle>,
     /// Per-host, per-class fault streams (see [`FaultEngine`]): two runs
     /// that keep a host up for the same intervals see the same faults on
     /// it regardless of what else they randomize.
     faults: FaultEngine,
     /// Retry backoff state of VMs whose creation/migration failed.
+    // lint:allow(D001): keyed get/insert/remove only, never iterated
     retry: HashMap<VmId, RetryState>,
     /// Crashes accumulated per host (feeds the flapping blacklist).
     crash_counts: Vec<u32>,
     /// When each currently-unrecovered VM was displaced or failed
     /// (cleared on successful restart; feeds time-to-recover).
+    // lint:allow(D001): keyed lookup/removal only, never iterated
     displaced_at: HashMap<VmId, SimTime>,
     auditor: InvariantAuditor,
     fstats: FaultStats,
@@ -199,8 +204,8 @@ impl Runner {
             sim: Simulator::new(),
             rng,
             completion: HashMap::new(),
-            failure_timer: HashMap::new(),
-            slowdown_timer: HashMap::new(),
+            failure_timer: BTreeMap::new(),
+            slowdown_timer: BTreeMap::new(),
             faults,
             retry: HashMap::new(),
             crash_counts,

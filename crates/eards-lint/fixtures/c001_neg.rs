@@ -1,0 +1,9 @@
+// C001 negative: the conversion helpers keep SimTime arithmetic exact,
+// and casts in statements without SimTime/SimDuration are out of scope.
+pub fn secs(t: SimTime) -> f64 {
+    t.as_secs_f64()
+}
+
+pub fn widen(x: u32) -> u64 {
+    x as u64
+}

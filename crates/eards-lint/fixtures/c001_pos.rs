@@ -1,0 +1,4 @@
+// C001 positive: raw numeric casts in SimTime arithmetic.
+pub fn skewed(t: SimTime, k: f64) -> SimTime {
+    SimTime::from_millis((t.as_millis() as f64 * k) as u64)
+}

@@ -1,0 +1,24 @@
+// D001 negative: BTreeMap is ordered, suppressed fields carry reasons,
+// and test-only maps are exempt.
+use std::collections::{BTreeMap, HashMap};
+
+pub struct State {
+    pub ordered: BTreeMap<u32, u64>,
+    // lint:allow(D001): keyed lookups only, never iterated
+    pub index: HashMap<u32, u64>,
+}
+
+pub fn sum(s: &State) -> u64 {
+    s.ordered.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn t() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        assert_eq!(m.values().count(), 0);
+    }
+}

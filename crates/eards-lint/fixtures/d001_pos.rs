@@ -1,0 +1,18 @@
+// D001 positive: map-typed field and iteration in a sim-affecting crate.
+use std::collections::{HashMap, HashSet};
+
+pub struct State {
+    pub by_host: HashMap<u32, u64>,
+    pub live: HashSet<u64>,
+}
+
+pub fn sum(s: &State) -> u64 {
+    let mut total = 0;
+    for (_, v) in s.by_host.iter() {
+        total += v;
+    }
+    for v in s.live.iter() {
+        total += v;
+    }
+    total
+}

@@ -1,0 +1,5 @@
+// D002 negative (linted under an eards-obs path, which is allowlisted —
+// profiling spans legitimately read the wall clock).
+pub fn span_start() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,7 @@
+// D002 positive: wall-clock reads outside eards-obs/eards-bench.
+pub fn elapsed_ms() -> u128 {
+    let t0 = std::time::Instant::now();
+    let wall = std::time::SystemTime::now();
+    let _ = wall;
+    t0.elapsed().as_millis()
+}

@@ -1,0 +1,4 @@
+// D003 negative: explicit seeding is the sanctioned way to randomness.
+pub fn rng(seed: u64) -> SimRng {
+    SimRng::seed_from_u64(seed)
+}

@@ -1,0 +1,13 @@
+// D003 positive: ambient randomness — nondeterministic seeds.
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    let x: f64 = rand::random();
+    let _ = &mut rng;
+    x
+}
+
+pub fn reseed() -> u64 {
+    let r = SmallRng::from_entropy();
+    let _ = r;
+    0
+}

@@ -1,0 +1,9 @@
+// D004 negative: total_cmp is total, and an un-unwrapped partial_cmp
+// (handled Option) is fine.
+pub fn sort(v: &mut [f64]) {
+    v.sort_by(f64::total_cmp);
+}
+
+pub fn tri(a: f64, b: f64) -> Option<std::cmp::Ordering> {
+    a.partial_cmp(&b)
+}

@@ -1,0 +1,8 @@
+// D004 positive: partial_cmp chained into unwrap/expect panics on NaN.
+pub fn sort(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn sort_expect(v: &mut [f64]) {
+    v.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+}

@@ -1,0 +1,15 @@
+// P001 negative: propagating instead of panicking, and tests may
+// unwrap freely.
+pub fn first(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let v = vec![1u32];
+        assert_eq!(v.first().unwrap(), &v[0]);
+        assert!(!v.is_empty(), "{}", v[0]);
+    }
+}

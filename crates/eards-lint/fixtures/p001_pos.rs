@@ -1,0 +1,9 @@
+// P001 positive: panicking constructs in sim library code.
+pub fn first(v: &[u32]) -> u32 {
+    let head = v.first().unwrap();
+    let tail = v.last().expect("non-empty");
+    if *head > *tail {
+        panic!("unsorted");
+    }
+    v[0]
+}

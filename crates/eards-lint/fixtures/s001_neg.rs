@@ -1,0 +1,9 @@
+// S001 negative: a well-formed reasoned marker suppresses its rule, and
+// doc comments that merely describe the syntax are inert.
+use std::collections::HashMap;
+
+/// To suppress, write `// lint:allow(D001)` followed by `: reason`.
+pub struct State {
+    // lint:allow(D001): keyed lookups only, never iterated
+    pub index: HashMap<u32, u64>,
+}

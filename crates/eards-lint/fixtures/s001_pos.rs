@@ -1,0 +1,11 @@
+// S001 positive: reasonless and unknown-rule markers are findings and
+// suppress nothing.
+use std::collections::HashMap;
+
+pub struct State {
+    // lint:allow(D001)
+    pub index: HashMap<u32, u64>,
+}
+
+// lint:allow(Z999): not a rule that exists
+pub fn f() {}

@@ -1,0 +1,268 @@
+//! The checked-in baseline: grandfathered findings, so the lint gate can
+//! be blocking from day one.
+//!
+//! `lint-baseline.toml` records, per `(rule, path)`, how many findings
+//! existed when the gate was introduced. A run fails only when some
+//! `(rule, path)` group *exceeds* its grandfathered count — i.e. new
+//! findings fail, old ones are tolerated until their file is next
+//! touched. Shrinking a group below its baseline prints a nudge to
+//! refresh (with `eards lint --write-baseline`) so the ratchet only ever
+//! tightens. `S001` (malformed suppression) is never baselined: a broken
+//! suppression marker is always new.
+//!
+//! The format is a deliberately tiny TOML subset (`[[allow]]` tables with
+//! `rule`/`path`/`count` keys), parsed here by hand like the rest of the
+//! workspace's vendored-dependency surface.
+
+use std::collections::BTreeMap;
+
+use crate::rules::{Finding, RuleId};
+
+/// Grandfathered counts per `(rule, path)`.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    entries: BTreeMap<(RuleId, String), usize>,
+}
+
+/// The result of filtering findings through a baseline.
+#[derive(Debug, Default)]
+pub struct BaselineOutcome {
+    /// Findings not covered by the baseline — these fail the gate.
+    pub new: Vec<Finding>,
+    /// How many findings the baseline absorbed.
+    pub grandfathered: usize,
+    /// Groups whose current count undercuts the baseline (refresh nudge),
+    /// rendered as `RULE path (baseline N, now M)`.
+    pub stale: Vec<String>,
+}
+
+impl Baseline {
+    /// Parses the baseline file. Unknown keys, unknown rules, or
+    /// structural noise are hard errors: a typo in the gate's input must
+    /// not silently widen it.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        let mut cur: Option<(Option<RuleId>, Option<String>, Option<usize>)> = None;
+        let mut flush = |cur: &mut Option<(Option<RuleId>, Option<String>, Option<usize>)>|
+         -> Result<(), String> {
+            if let Some((rule, path, count)) = cur.take() {
+                match (rule, path, count) {
+                    (Some(r), Some(p), Some(c)) => {
+                        if r == RuleId::S001 {
+                            return Err("S001 findings cannot be baselined".into());
+                        }
+                        entries.insert((r, p), c);
+                        Ok(())
+                    }
+                    _ => Err("incomplete [[allow]] entry (need rule, path, count)".into()),
+                }
+            } else {
+                Ok(())
+            }
+        };
+        for (no, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let err = |msg: &str| format!("lint-baseline.toml:{}: {}", no + 1, msg);
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                flush(&mut cur).map_err(|e| err(&e))?;
+                cur = Some((None, None, None));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(err("expected `key = value` or `[[allow]]`"));
+            };
+            let Some(entry) = cur.as_mut() else {
+                return Err(err("key outside an [[allow]] entry"));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "rule" => {
+                    let name = value.trim_matches('"');
+                    entry.0 = Some(
+                        RuleId::from_name(name)
+                            .ok_or_else(|| err(&format!("unknown rule {name:?}")))?,
+                    );
+                }
+                "path" => entry.1 = Some(value.trim_matches('"').to_string()),
+                "count" => {
+                    entry.2 = Some(value.parse().map_err(|_| err("count must be an integer"))?);
+                }
+                other => return Err(err(&format!("unknown key {other:?}"))),
+            }
+        }
+        flush(&mut cur)?;
+        Ok(Baseline { entries })
+    }
+
+    /// Renders a baseline grandfathering exactly `findings` (S001
+    /// excluded — those are never tolerated).
+    pub fn render(findings: &[Finding]) -> String {
+        let mut counts: BTreeMap<(RuleId, &str), usize> = BTreeMap::new();
+        for f in findings {
+            if f.rule == RuleId::S001 {
+                continue;
+            }
+            *counts.entry((f.rule, f.path.as_str())).or_insert(0) += 1;
+        }
+        let mut out = String::from(
+            "# eards lint baseline — findings grandfathered when the gate was introduced.\n\
+             # A (rule, path) group may not grow beyond its count; new findings fail.\n\
+             # Regenerate (only to *shrink* it) with: eards lint --write-baseline\n",
+        );
+        for ((rule, path), count) in &counts {
+            out.push_str(&format!(
+                "\n[[allow]]\nrule = \"{}\"\npath = \"{}\"\ncount = {}\n",
+                rule.name(),
+                path,
+                count
+            ));
+        }
+        out
+    }
+
+    /// Splits `findings` into new vs. grandfathered.
+    ///
+    /// Within a `(rule, path)` group that *exceeds* its baseline, every
+    /// finding is reported — line numbers have usually shifted, so there
+    /// is no honest way to single out "the new one", and showing the whole
+    /// group is what lets the author pick which to fix or re-baseline.
+    pub fn apply(&self, findings: Vec<Finding>) -> BaselineOutcome {
+        let mut groups: BTreeMap<(RuleId, String), Vec<Finding>> = BTreeMap::new();
+        for f in findings {
+            groups.entry((f.rule, f.path.clone())).or_default().push(f);
+        }
+        let mut out = BaselineOutcome::default();
+        let mut seen_keys: Vec<(RuleId, String)> = Vec::new();
+        for (key, group) in groups {
+            let allowed = if key.0 == RuleId::S001 {
+                0
+            } else {
+                self.entries.get(&key).copied().unwrap_or(0)
+            };
+            if group.len() > allowed {
+                out.new.extend(group);
+            } else {
+                if group.len() < allowed {
+                    out.stale.push(format!(
+                        "{} {} (baseline {}, now {})",
+                        key.0.name(),
+                        key.1,
+                        allowed,
+                        group.len()
+                    ));
+                }
+                out.grandfathered += group.len();
+            }
+            seen_keys.push(key);
+        }
+        // Entries whose (rule, path) produced no findings at all this run
+        // never enter the group loop — surface them as stale too.
+        for ((rule, path), &count) in &self.entries {
+            if count > 0 && !seen_keys.iter().any(|(r, p)| r == rule && p == path) {
+                out.stale.push(format!(
+                    "{} {} (baseline {}, now 0)",
+                    rule.name(),
+                    path,
+                    count
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: RuleId, path: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            path: path.into(),
+            line,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let fs = vec![
+            finding(RuleId::P001, "crates/a/src/x.rs", 3),
+            finding(RuleId::P001, "crates/a/src/x.rs", 9),
+            finding(RuleId::C001, "crates/b/src/y.rs", 1),
+        ];
+        let text = Baseline::render(&fs);
+        let b = Baseline::parse(&text).unwrap();
+        let outcome = b.apply(fs);
+        assert!(outcome.new.is_empty());
+        assert_eq!(outcome.grandfathered, 3);
+        assert!(outcome.stale.is_empty());
+    }
+
+    #[test]
+    fn growth_fails_shrink_nudges() {
+        let old = vec![
+            finding(RuleId::P001, "crates/a/src/x.rs", 3),
+            finding(RuleId::P001, "crates/a/src/x.rs", 9),
+        ];
+        let b = Baseline::parse(&Baseline::render(&old)).unwrap();
+        // One more P001 in the same file: the whole group is re-reported.
+        let grown = vec![
+            finding(RuleId::P001, "crates/a/src/x.rs", 3),
+            finding(RuleId::P001, "crates/a/src/x.rs", 9),
+            finding(RuleId::P001, "crates/a/src/x.rs", 20),
+        ];
+        assert_eq!(b.apply(grown).new.len(), 3);
+        // One fewer: passes, but nudges.
+        let shrunk = vec![finding(RuleId::P001, "crates/a/src/x.rs", 3)];
+        let outcome = b.apply(shrunk);
+        assert!(outcome.new.is_empty());
+        assert_eq!(outcome.stale.len(), 1);
+    }
+
+    #[test]
+    fn fully_fixed_group_is_reported_stale() {
+        let b = Baseline::parse(
+            "[[allow]]\nrule = \"P001\"\npath = \"crates/a/src/x.rs\"\ncount = 2\n",
+        )
+        .unwrap();
+        let outcome = b.apply(Vec::new());
+        assert!(outcome.new.is_empty());
+        assert_eq!(
+            outcome.stale,
+            vec!["P001 crates/a/src/x.rs (baseline 2, now 0)"]
+        );
+    }
+
+    #[test]
+    fn s001_is_never_baselined() {
+        assert!(
+            Baseline::parse("[[allow]]\nrule = \"S001\"\npath = \"x.rs\"\ncount = 1\n").is_err()
+        );
+        let b = Baseline::default();
+        let out = b.apply(vec![finding(RuleId::S001, "x.rs", 1)]);
+        assert_eq!(out.new.len(), 1);
+        // And render() refuses to write them.
+        assert!(!Baseline::render(&[finding(RuleId::S001, "x.rs", 1)]).contains("S001"));
+    }
+
+    #[test]
+    fn parse_rejects_noise() {
+        assert!(Baseline::parse("count = 3\n").is_err(), "key outside entry");
+        assert!(
+            Baseline::parse("[[allow]]\nrule = \"P001\"\n").is_err(),
+            "incomplete entry"
+        );
+        assert!(
+            Baseline::parse("[[allow]]\nrule = \"Z999\"\npath = \"x\"\ncount = 1\n").is_err(),
+            "unknown rule"
+        );
+        assert!(
+            Baseline::parse("[[allow]]\nrule = \"P001\"\npath = \"x\"\ncount = one\n").is_err(),
+            "bad count"
+        );
+    }
+}

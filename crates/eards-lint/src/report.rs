@@ -1,0 +1,127 @@
+//! Rendering: human text and machine JSON.
+
+use crate::baseline::BaselineOutcome;
+use crate::rules::Finding;
+
+/// Renders the gate outcome as human-oriented text. `files` is how many
+/// files were scanned.
+pub fn render_text(files: usize, outcome: &BaselineOutcome) -> String {
+    let mut out = String::new();
+    for f in &outcome.new {
+        out.push_str(&format!(
+            "{}:{}: {} {}\n",
+            f.path,
+            f.line,
+            f.rule.name(),
+            f.message
+        ));
+    }
+    if !outcome.new.is_empty() {
+        out.push('\n');
+    }
+    for s in &outcome.stale {
+        out.push_str(&format!(
+            "note: baseline entry exceeds current findings: {s} — shrink it with \
+             `eards lint --write-baseline`\n"
+        ));
+    }
+    out.push_str(&format!(
+        "lint: {} files scanned, {} finding(s) grandfathered, {} new\n",
+        files,
+        outcome.grandfathered,
+        outcome.new.len()
+    ));
+    out
+}
+
+/// Renders the gate outcome as a single JSON object (stable keys; findings
+/// sorted by path/line/rule upstream).
+pub fn render_json(files: usize, outcome: &BaselineOutcome) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"files\":{},", files));
+    out.push_str(&format!("\"grandfathered\":{},", outcome.grandfathered));
+    out.push_str("\"new\":[");
+    for (i, f) in outcome.new.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            f.rule.name(),
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.message)
+        ));
+    }
+    out.push_str("],\"stale\":[");
+    for (i, s) in outcome.stale.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\"", json_escape(s)));
+    }
+    out.push_str("]}");
+    out.push('\n');
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Re-exported for tests and the CLI: sorts findings into report order.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleId;
+
+    #[test]
+    fn json_is_escaped_and_shaped() {
+        let outcome = BaselineOutcome {
+            new: vec![Finding {
+                rule: RuleId::D004,
+                path: "a \"b\".rs".into(),
+                line: 7,
+                message: "line1\nline2".into(),
+            }],
+            grandfathered: 3,
+            stale: vec![],
+        };
+        let j = render_json(10, &outcome);
+        assert!(j.contains("\"files\":10"));
+        assert!(j.contains("\\\"b\\\""));
+        assert!(j.contains("line1\\nline2"));
+        assert!(j.contains("\"rule\":\"D004\""));
+    }
+
+    #[test]
+    fn text_summarizes() {
+        let outcome = BaselineOutcome {
+            new: vec![],
+            grandfathered: 5,
+            stale: vec!["P001 x.rs (baseline 3, now 2)".into()],
+        };
+        let t = render_text(12, &outcome);
+        assert!(t.contains("12 files"));
+        assert!(t.contains("5 finding(s) grandfathered"));
+        assert!(t.contains("0 new"));
+        assert!(t.contains("shrink it"));
+    }
+}

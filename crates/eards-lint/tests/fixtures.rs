@@ -1,0 +1,188 @@
+//! Fixture self-tests: one positive and one negative file per rule,
+//! asserting *exact* rule IDs, paths, and line numbers.
+//!
+//! The fixtures live under `fixtures/` (which the workspace walker skips
+//! — they are supposed to contain findings) and are linted here under
+//! *virtual* workspace paths, so crate-scoped rules (sim-affecting,
+//! clock-allowlisted) see the crate they are meant to test.
+
+use eards_lint::{lint_source, Finding, RuleId};
+
+/// Lints fixture `text` as if it lived at `path`, returning `(rule, line)`
+/// pairs (already sorted by line, then rule).
+fn run(path: &str, text: &str) -> Vec<(RuleId, u32)> {
+    let findings = lint_source(path, text);
+    for f in &findings {
+        assert_eq!(f.path, path, "finding carries the linted path: {f:?}");
+        assert!(!f.message.is_empty(), "finding has a message: {f:?}");
+    }
+    findings
+        .iter()
+        .map(|f: &Finding| (f.rule, f.line))
+        .collect()
+}
+
+/// Asserts the fixture yields exactly `expected` `(rule, line)` pairs.
+fn expect(path: &str, text: &str, expected: &[(RuleId, u32)]) {
+    assert_eq!(run(path, text), expected, "fixture {path}");
+}
+
+const SIM: &str = "crates/eards-sim/src/fixture.rs";
+
+#[test]
+fn d001_positive() {
+    expect(
+        SIM,
+        include_str!("../fixtures/d001_pos.rs"),
+        &[
+            (RuleId::D001, 5),
+            (RuleId::D001, 6),
+            (RuleId::D001, 11),
+            (RuleId::D001, 14),
+        ],
+    );
+}
+
+#[test]
+fn d001_negative() {
+    expect(SIM, include_str!("../fixtures/d001_neg.rs"), &[]);
+}
+
+#[test]
+fn d001_is_scoped_to_sim_affecting_crates() {
+    // The same offending source in a non-sim crate is clean.
+    expect(
+        "crates/eards-metrics/src/fixture.rs",
+        include_str!("../fixtures/d001_pos.rs"),
+        &[],
+    );
+}
+
+#[test]
+fn d002_positive() {
+    expect(
+        SIM,
+        include_str!("../fixtures/d002_pos.rs"),
+        &[(RuleId::D002, 3), (RuleId::D002, 4)],
+    );
+}
+
+#[test]
+fn d002_negative_allowlisted_crate() {
+    expect(
+        "crates/eards-obs/src/fixture.rs",
+        include_str!("../fixtures/d002_neg.rs"),
+        &[],
+    );
+}
+
+#[test]
+fn d003_positive() {
+    expect(
+        SIM,
+        include_str!("../fixtures/d003_pos.rs"),
+        &[(RuleId::D003, 3), (RuleId::D003, 4), (RuleId::D003, 10)],
+    );
+}
+
+#[test]
+fn d003_fires_everywhere_even_outside_sim_crates() {
+    // D003 has no crate scoping: ambient randomness is never OK.
+    let got = run(
+        "crates/eards-bench/src/fixture.rs",
+        include_str!("../fixtures/d003_pos.rs"),
+    );
+    assert_eq!(
+        got,
+        &[(RuleId::D003, 3), (RuleId::D003, 4), (RuleId::D003, 10)]
+    );
+}
+
+#[test]
+fn d003_negative() {
+    expect(SIM, include_str!("../fixtures/d003_neg.rs"), &[]);
+}
+
+#[test]
+fn d004_positive() {
+    // The same chains are also panic hazards (P001) in a sim crate — the
+    // rules overlap deliberately: fixing with total_cmp clears both.
+    expect(
+        SIM,
+        include_str!("../fixtures/d004_pos.rs"),
+        &[
+            (RuleId::D004, 3),
+            (RuleId::P001, 3),
+            (RuleId::D004, 7),
+            (RuleId::P001, 7),
+        ],
+    );
+}
+
+#[test]
+fn d004_negative() {
+    expect(SIM, include_str!("../fixtures/d004_neg.rs"), &[]);
+}
+
+#[test]
+fn p001_positive() {
+    expect(
+        "crates/eards-datacenter/src/fixture.rs",
+        include_str!("../fixtures/p001_pos.rs"),
+        &[
+            (RuleId::P001, 3),
+            (RuleId::P001, 4),
+            (RuleId::P001, 6),
+            (RuleId::P001, 8),
+        ],
+    );
+}
+
+#[test]
+fn p001_negative() {
+    expect(
+        "crates/eards-datacenter/src/fixture.rs",
+        include_str!("../fixtures/p001_neg.rs"),
+        &[],
+    );
+}
+
+#[test]
+fn p001_skips_integration_test_paths() {
+    // tests/ directories are all-test: unwraps there are fine.
+    expect(
+        "crates/eards-datacenter/tests/fixture.rs",
+        include_str!("../fixtures/p001_pos.rs"),
+        &[],
+    );
+}
+
+#[test]
+fn c001_positive() {
+    expect(
+        SIM,
+        include_str!("../fixtures/c001_pos.rs"),
+        &[(RuleId::C001, 3), (RuleId::C001, 3)],
+    );
+}
+
+#[test]
+fn c001_negative() {
+    expect(SIM, include_str!("../fixtures/c001_neg.rs"), &[]);
+}
+
+#[test]
+fn s001_positive() {
+    // Malformed markers are findings AND suppress nothing: the field the
+    // reasonless marker sat on still gets its D001.
+    expect(
+        SIM,
+        include_str!("../fixtures/s001_pos.rs"),
+        &[(RuleId::S001, 6), (RuleId::D001, 7), (RuleId::S001, 10)],
+    );
+}
+
+#[test]
+fn s001_negative() {
+    expect(SIM, include_str!("../fixtures/s001_neg.rs"), &[]);
+}

@@ -94,6 +94,8 @@ impl Obs {
     /// An enabled handle whose event and span rings each hold `capacity`
     /// entries (oldest entries are overwritten beyond that; the drop
     /// count is kept). All memory is allocated here, up front.
+    // Wall-clock epoch for span timing: the one place real time enters.
+    #[allow(clippy::disallowed_methods)]
     pub fn enabled(capacity: usize) -> Self {
         Obs {
             inner: Some(Arc::new(Mutex::new(Inner {
@@ -153,6 +155,7 @@ impl Obs {
 
     /// Opens a profiling span; it records itself when dropped. On a
     /// disabled handle the guard is inert and the clock is never read.
+    #[allow(clippy::disallowed_methods)] // span durations are wall-clock by design
     pub fn span(&self, name: &'static str, sim: SimTime) -> SpanGuard {
         SpanGuard {
             inner: self.inner.clone(),

@@ -12,9 +12,11 @@ use eards_model::{Cluster, HostId, Resources, VmId};
 /// current scheduling round.
 pub struct Planner<'a> {
     cluster: &'a Cluster,
+    // lint:allow(D001): keyed get/entry accumulation only, never iterated
     planned: HashMap<HostId, Resources>,
     /// VMs this round already decided to move away from their host
     /// (their resources no longer count there for *strict* checks).
+    // lint:allow(D001): keyed get/entry accumulation only, never iterated
     vacated: HashMap<HostId, Resources>,
 }
 

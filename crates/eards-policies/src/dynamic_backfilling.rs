@@ -86,8 +86,7 @@ impl Policy for DynamicBackfillingPolicy {
         working.sort_by(|&a, &b| {
             cluster
                 .occupation(a)
-                .partial_cmp(&cluster.occupation(b))
-                .expect("occupation is finite")
+                .total_cmp(&cluster.occupation(b))
                 .then(a.cmp(&b))
         });
 

@@ -60,8 +60,10 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     /// Sequence numbers that are scheduled and not cancelled.
+    // lint:allow(D001): membership tests and counts only, never iterated
     pending: HashSet<u64>,
     /// Tombstones: cancelled entries still physically in the heap.
+    // lint:allow(D001): membership tests only, never iterated
     cancelled: HashSet<u64>,
     next_seq: u64,
 }

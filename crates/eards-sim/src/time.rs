@@ -58,11 +58,13 @@ impl SimTime {
 
     /// Seconds since simulation start, as a float.
     pub fn as_secs_f64(self) -> f64 {
+        // lint:allow(C001): this IS the sanctioned ms->float boundary
         self.0 as f64 / MILLIS_PER_SEC as f64
     }
 
     /// Hours since simulation start, as a float.
     pub fn as_hours_f64(self) -> f64 {
+        // lint:allow(C001): this IS the sanctioned ms->float boundary
         self.0 as f64 / MILLIS_PER_HOUR as f64
     }
 
@@ -122,11 +124,13 @@ impl SimDuration {
 
     /// Seconds, as a float.
     pub fn as_secs_f64(self) -> f64 {
+        // lint:allow(C001): this IS the sanctioned ms->float boundary
         self.0 as f64 / MILLIS_PER_SEC as f64
     }
 
     /// Hours, as a float.
     pub fn as_hours_f64(self) -> f64 {
+        // lint:allow(C001): this IS the sanctioned ms->float boundary
         self.0 as f64 / MILLIS_PER_HOUR as f64
     }
 
@@ -144,6 +148,7 @@ impl SimDuration {
     /// millisecond.
     pub fn mul_f64(self, k: f64) -> SimDuration {
         debug_assert!(k >= 0.0, "duration scale factor must be non-negative");
+        // lint:allow(C001): round-to-nearest-ms is this helper's contract
         SimDuration((self.0 as f64 * k).round().max(0.0) as u64)
     }
 }
@@ -155,6 +160,7 @@ fn secs_f64_to_millis(secs: f64) -> u64 {
         }
         return 0;
     }
+    // lint:allow(C001): round-to-nearest-ms is this helper's contract
     (secs * MILLIS_PER_SEC as f64).round().max(0.0) as u64
 }
 

@@ -90,7 +90,9 @@ pub struct WheelQueue<E> {
     /// Absolute slot number last cascaded, per level (avoids re-draining
     /// the same window on every pop).
     cascaded: [u64; LEVELS],
+    // lint:allow(D001): membership tests and counts only, never iterated
     pending: HashSet<u64>,
+    // lint:allow(D001): membership tests only, never iterated
     cancelled: HashSet<u64>,
     next_seq: u64,
 }

@@ -86,7 +86,7 @@ pub fn analyze(trace: &Trace) -> Option<TraceAnalysis> {
 
     // Work share of the biggest decile of jobs.
     let mut works: Vec<f64> = jobs.iter().map(|j| j.total_work()).collect();
-    works.sort_unstable_by(|a, b| b.partial_cmp(a).expect("finite work"));
+    works.sort_unstable_by(|a, b| b.total_cmp(a));
     let total: f64 = works.iter().sum();
     let top = (jobs.len().div_ceil(10)).max(1);
     let top_work: f64 = works.iter().take(top).sum();

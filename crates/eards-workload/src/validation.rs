@@ -35,6 +35,7 @@ pub fn validation_workload() -> Trace {
         .enumerate()
         .map(|(i, &(submit, cpu, dur, factor))| {
             Job::new(
+                // lint:allow(C001): loop index to JobId, not time arithmetic
                 JobId(i as u64),
                 SimTime::from_secs(submit),
                 Cpu(cpu),

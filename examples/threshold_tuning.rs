@@ -36,6 +36,8 @@ fn main() {
         points.len()
     );
 
+    #[allow(clippy::disallowed_methods)]
+    // lint:allow(D002): example times its own wall-clock run, not sim state
     let t0 = std::time::Instant::now();
     let reports = run_sweep(
         &hosts,

@@ -36,6 +36,8 @@ fn main() {
         ),
     ];
     for (label, policy, cfg) in runs {
+        #[allow(clippy::disallowed_methods)]
+        // lint:allow(D002): example times its own wall-clock run, not sim state
         let t0 = std::time::Instant::now();
         let report = Runner::new(paper_datacenter(), trace.clone(), policy, cfg)
             .labeled(label)
