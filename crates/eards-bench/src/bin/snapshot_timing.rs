@@ -1,0 +1,118 @@
+//! Times a full runner snapshot + restore round trip at datacenter scale
+//! (400 hosts, 320 in-flight VMs) and writes `BENCH_snapshot.json` at the
+//! workspace root, next to the other machine-readable baselines.
+//!
+//! Checkpointing is only useful if it is cheap enough to run inline with
+//! the simulation (the CLI takes snapshots between event batches), so the
+//! round trip gets a wall-time budget like the solver, observability and
+//! lint layers: serialize + deserialize must stay under [`BUDGET_MS`] or
+//! this bin exits non-zero. The restored runner must also re-serialize to
+//! the identical byte stream (the codec's fixed-point property) — a
+//! mismatch is a correctness failure, budget or not.
+
+use eards_datacenter::{small_datacenter, RunConfig, Runner};
+use eards_model::{Cpu, HostClass, HostSpec, Job, JobId, Mem, Policy};
+use eards_policies::RoundRobinPolicy;
+use eards_sim::{SimDuration, SimTime};
+use eards_workload::Trace;
+
+/// Wall-time budget for one snapshot + restore round trip.
+const BUDGET_MS: f64 = 50.0;
+
+const HOSTS: u32 = 400;
+const VMS: u64 = 320;
+
+/// The benched world: every VM arrives in the first ten minutes and runs
+/// for hours, so at the one-hour snapshot point all 320 are in flight.
+fn world() -> (Vec<HostSpec>, Trace, Box<dyn Policy>, RunConfig) {
+    let jobs = (0..VMS)
+        .map(|j| {
+            Job::new(
+                JobId(j),
+                SimTime::from_secs(j * 600 / VMS),
+                Cpu(100),
+                Mem::gib(1),
+                SimDuration::from_hours(4),
+                1.5,
+            )
+        })
+        .collect();
+    let cfg = RunConfig {
+        initial_on: HOSTS as usize,
+        ..RunConfig::default()
+    };
+    (
+        small_datacenter(HOSTS, HostClass::Medium),
+        Trace::new(jobs),
+        Box::new(RoundRobinPolicy::new()),
+        cfg,
+    )
+}
+
+fn time_min_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        #[allow(clippy::disallowed_methods)] // benchmarking wall time is the point
+        let t = std::time::Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    // Drive the run past every arrival so the snapshot captures a fully
+    // loaded datacenter, not a cold start.
+    let (hosts, trace, policy, cfg) = world();
+    let mut runner = Runner::new(hosts, trace, policy, cfg);
+    let warm = SimTime::ZERO + SimDuration::from_hours(1);
+    while runner.now() < warm && runner.step_batch() {}
+    assert!(
+        runner.now() >= SimTime::ZERO + SimDuration::from_mins(10),
+        "the bench run must reach steady state, stopped at {}",
+        runner.now()
+    );
+
+    let bytes = runner.snapshot();
+    let snapshot_ms = time_min_ms(5, || {
+        std::hint::black_box(runner.snapshot());
+    });
+    let restore_ms = time_min_ms(5, || {
+        let (hosts, trace, policy, cfg) = world();
+        let restored =
+            Runner::restore(hosts, trace, policy, cfg, &bytes).expect("snapshot restores");
+        std::hint::black_box(&restored);
+    });
+
+    // Fixed point: restore(persist(x)) re-serializes byte-identically.
+    let (hosts, trace, policy, cfg) = world();
+    let restored = Runner::restore(hosts, trace, policy, cfg, &bytes).expect("snapshot restores");
+    assert_eq!(
+        restored.snapshot(),
+        bytes,
+        "restored runner must re-serialize to the identical byte stream"
+    );
+
+    let total_ms = snapshot_ms + restore_ms;
+    let within = total_ms <= BUDGET_MS;
+    let json = format!(
+        "{{\"hosts\":{HOSTS},\"vms\":{VMS},\"snapshot_bytes\":{},\"snapshot_ms\":{snapshot_ms:.3},\
+         \"restore_ms\":{restore_ms:.3},\"total_ms\":{total_ms:.3},\"budget_ms\":{BUDGET_MS},\
+         \"within_budget\":{within}}}\n",
+        bytes.len()
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_snapshot.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {path} ({} bytes)", json.len()),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    eprintln!(
+        "snapshot {snapshot_ms:.2} ms + restore {restore_ms:.2} ms = {total_ms:.2} ms \
+         over {} bytes (budget {BUDGET_MS} ms)",
+        bytes.len()
+    );
+    if !within {
+        eprintln!("!! snapshot round trip exceeds budget");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,91 @@
+//! Checkpoint files: run provenance plus a [`Runner`] snapshot.
+//!
+//! A checkpoint must be resumable by a fresh process, so the file carries
+//! two parts behind one snapshot header:
+//!
+//! 1. **provenance** — the original `eards run` argument tokens (minus the
+//!    checkpoint flags themselves), re-parsed on resume to rebuild the
+//!    world the snapshot validates against: hosts, trace, policy, config;
+//! 2. **state** — the raw [`Runner::snapshot`] payload (self-delimiting:
+//!    it opens with its own magic + version), which restores the
+//!    mid-flight engine, cluster, fault streams and metrics.
+//!
+//! Keeping the argv as the provenance (rather than re-serializing each
+//! built object) means a resume goes through exactly the same
+//! construction code path as the original run — one source of truth for
+//! how flags become a world.
+
+use eards_datacenter::Runner;
+use eards_sim::{read_header, write_header, PersistError, Reader, Writer};
+
+/// Encodes a checkpoint file: header, provenance argv, snapshot payload.
+pub fn encode_checkpoint(argv: &[String], runner: &Runner) -> Vec<u8> {
+    let mut w = Writer::new();
+    write_header(&mut w);
+    w.put_len(argv.len());
+    for a in argv {
+        w.put_str(a);
+    }
+    let mut out = w.into_bytes();
+    out.extend_from_slice(&runner.snapshot());
+    out
+}
+
+/// Decodes a checkpoint file into `(provenance argv, snapshot payload)`.
+pub fn decode_checkpoint(data: &[u8]) -> Result<(Vec<String>, &[u8]), PersistError> {
+    let mut r = Reader::new(data);
+    read_header(&mut r)?;
+    let n = r.get_len()?;
+    let mut argv = Vec::with_capacity(n);
+    for _ in 0..n {
+        argv.push(r.get_str()?);
+    }
+    // Everything after the provenance is the runner snapshot, handed back
+    // raw so `Runner::restore` can validate its own header.
+    Ok((argv, &data[data.len() - r.remaining()..]))
+}
+
+/// Drops `--checkpoint-every`/`--checkpoint-out` (and their values) from a
+/// token stream: a resumed run finishes in one go rather than re-writing
+/// checkpoints over the originals.
+pub fn strip_checkpoint_flags(tokens: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut iter = tokens.iter();
+    while let Some(t) = iter.next() {
+        match t.as_str() {
+            "--checkpoint-every" | "--checkpoint-out" => {
+                iter.next();
+            }
+            s if s.starts_with("--checkpoint-every=") || s.starts_with("--checkpoint-out=") => {}
+            _ => out.push(t.clone()),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn strip_removes_both_flag_forms() {
+        let argv = toks(
+            "--hosts 4 --checkpoint-every 2 --hours 3 \
+             --checkpoint-out /tmp/c --checkpoint-every=5 --seed 9",
+        );
+        assert_eq!(
+            strip_checkpoint_flags(&argv),
+            toks("--hosts 4 --hours 3 --seed 9")
+        );
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_checkpoint(b"not a checkpoint").is_err());
+        assert!(decode_checkpoint(&[]).is_err());
+    }
+}

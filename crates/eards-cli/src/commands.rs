@@ -1,4 +1,4 @@
-//! The CLI commands: `run`, `compare`, `sweep`, `trace`.
+//! The CLI commands: `run`, `resume`, `compare`, `sweep`, `trace`.
 
 use eards_datacenter::{lambda_grid, run_sweep, Runner};
 use eards_metrics::{fnum, heatmap, sparkline_fit, PricingModel, RunReport, Table};
@@ -18,6 +18,7 @@ eards — energy-aware virtualized-datacenter simulator (Goiri et al., CLUSTER 2
 
 USAGE:
   eards run      [--policy sb] [common flags]      simulate one policy
+  eards resume   <FILE>                            resume a checkpointed run to the end
   eards compare  [--policies bf,dbf,sb] [...]      simulate several policies
   eards sweep    [--policy sb] [--lambda-min-grid 10,30,50]
                  [--lambda-max-grid 50,70,90] [...]  λ threshold sweep (parallel)
@@ -42,6 +43,10 @@ COMMON FLAGS:
   --chaos X                   full fault plan at intensity X (crashes, boot/creation/
                               migration failures, slowdowns, rack outages; 1.0 = nominal)
   --checkpoint-mins M         checkpoint running VMs every M minutes
+  --checkpoint-every H        snapshot the whole run every H simulated hours
+                              (eards run only; needs --checkpoint-out)
+  --checkpoint-out DIR        directory receiving ckpt_t<ms>.bin snapshot files,
+                              resumable with `eards resume`
   --seed S                    simulation seed (operation jitter, failures)
   --economics                 additionally print revenue/energy-cost/profit
   --power-series FILE.csv     write the datacenter power trace
@@ -66,6 +71,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
     };
     match cmd.as_str() {
         "run" => run_cmd(rest),
+        "resume" => resume_cmd(rest),
         "compare" => compare_cmd(rest),
         "sweep" => sweep_cmd(rest),
         "trace" => trace_cmd(rest),
@@ -179,7 +185,82 @@ fn run_cmd(tokens: &[String]) -> Result<String, CliError> {
     let cfg = build_run_config(&args)?;
     let obs = cfg.obs.clone();
     let policy = make_policy(&policy_name, cfg.seed, &obs)?;
-    let report = Runner::new(hosts, trace, policy, cfg).run();
+    let runner = Runner::new(hosts, trace, policy, cfg);
+    let mut ckpt_note = String::new();
+    let report = match args.get_opt::<u64>("checkpoint-every")? {
+        None => {
+            if args.value("checkpoint-out").is_some() {
+                return Err(CliError::Usage(
+                    "--checkpoint-out needs --checkpoint-every H".into(),
+                ));
+            }
+            runner.run()
+        }
+        Some(0) => {
+            return Err(CliError::Usage(
+                "--checkpoint-every must be a positive hour count".into(),
+            ))
+        }
+        Some(hours) => {
+            let dir = args.value("checkpoint-out").ok_or_else(|| {
+                CliError::Usage("--checkpoint-every needs --checkpoint-out DIR".into())
+            })?;
+            std::fs::create_dir_all(dir)?;
+            // The provenance a resume replays, minus the checkpoint flags.
+            let provenance = crate::checkpoint::strip_checkpoint_flags(tokens);
+            let period = SimDuration::from_hours(hours);
+            let mut next = SimDuration::ZERO + period;
+            let mut written = 0u32;
+            let mut runner = runner;
+            while runner.step_batch() {
+                if runner.now().as_millis() >= next.as_millis() {
+                    let path = format!("{dir}/ckpt_t{}.bin", runner.now().as_millis());
+                    std::fs::write(
+                        &path,
+                        crate::checkpoint::encode_checkpoint(&provenance, &runner),
+                    )?;
+                    written += 1;
+                    while runner.now().as_millis() >= next.as_millis() {
+                        next += period;
+                    }
+                }
+            }
+            ckpt_note = format!("\n{written} checkpoint(s) written to {dir}\n");
+            runner.finish().0
+        }
+    };
+    let mut out = report_output(&args, std::slice::from_ref(&report))?;
+    out.push_str(&ckpt_note);
+    if obs.is_enabled() {
+        out.push('\n');
+        out.push_str(&export_obs(&args, &obs)?);
+    }
+    Ok(out)
+}
+
+/// Resumes a checkpoint file written by `eards run --checkpoint-every`:
+/// rebuilds the world from the file's recorded arguments, restores the
+/// snapshot into it, and drives the run to completion.
+fn resume_cmd(tokens: &[String]) -> Result<String, CliError> {
+    let Some(path) = tokens.first() else {
+        return Err(CliError::Usage(
+            "usage: eards resume <checkpoint file>".into(),
+        ));
+    };
+    let data = std::fs::read(path)?;
+    let (argv, snap) = crate::checkpoint::decode_checkpoint(&data)
+        .map_err(|e| CliError::Usage(format!("{path}: {e}")))?;
+    let args = parse_common(&argv)?;
+    let policy_name = args.value("policy").unwrap_or("sb").to_string();
+    let hosts = build_hosts(&args)?;
+    let trace = build_trace(&args)?;
+    let cfg = build_run_config(&args)?;
+    let obs = cfg.obs.clone();
+    let policy = make_policy(&policy_name, cfg.seed, &obs)?;
+    let mut runner = Runner::restore(hosts, trace, policy, cfg, snap)
+        .map_err(|e| CliError::Usage(format!("{path}: {e}")))?;
+    while runner.step_batch() {}
+    let (report, _) = runner.finish();
     let mut out = report_output(&args, std::slice::from_ref(&report))?;
     if obs.is_enabled() {
         out.push('\n');
@@ -523,6 +604,49 @@ mod tests {
         assert!(dispatch(&toks(&format!("trace check --jsonl {bad_s}"))).is_err());
         assert!(dispatch(&toks("trace check")).is_err(), "no files given");
         std::fs::remove_file(bad).ok();
+    }
+
+    #[test]
+    fn checkpoint_resume_round_trip_matches_uninterrupted_run() {
+        let dir = std::env::temp_dir().join("eards_cli_ckpt_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_s = dir.to_str().unwrap();
+        let common = "run --hosts 4 --hours 3 --policy sb --seed 11 --csv";
+        let baseline = dispatch(&toks(common)).unwrap();
+        let out = dispatch(&toks(&format!(
+            "{common} --checkpoint-every 1 --checkpoint-out {dir_s}"
+        )))
+        .unwrap();
+        assert!(out.contains("checkpoint(s) written"), "{out}");
+        // Checkpointing (snapshot takes &self) must not perturb the run.
+        assert!(
+            out.starts_with(baseline.trim_end()),
+            "{out}\nvs\n{baseline}"
+        );
+        let mut ckpts: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        ckpts.sort();
+        assert!(!ckpts.is_empty(), "at least one checkpoint file");
+        // Resuming any checkpoint reproduces the uninterrupted report.
+        for ckpt in [&ckpts[0], ckpts.last().unwrap()] {
+            let resumed = dispatch(&toks(&format!("resume {}", ckpt.display()))).unwrap();
+            assert_eq!(resumed, baseline, "resume from {}", ckpt.display());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_flag_validation() {
+        assert!(dispatch(&toks("run --hosts 4 --hours 1 --checkpoint-out /tmp/x")).is_err());
+        assert!(dispatch(&toks("run --hosts 4 --hours 1 --checkpoint-every 1")).is_err());
+        assert!(dispatch(&toks(
+            "run --hosts 4 --hours 1 --checkpoint-every 0 --checkpoint-out /tmp/x"
+        ))
+        .is_err());
+        assert!(dispatch(&toks("resume")).is_err());
+        assert!(dispatch(&toks("resume /nonexistent/ckpt.bin")).is_err());
     }
 
     #[test]

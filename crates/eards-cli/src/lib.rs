@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod checkpoint;
 pub mod commands;
 pub mod lint;
 pub mod setup;

@@ -74,6 +74,8 @@ pub const COMMON_VALUED: &[&str] = &[
     "trace-out",
     "chrome-out",
     "metrics-out",
+    "checkpoint-every",
+    "checkpoint-out",
 ];
 
 /// The observability export flags (valued; `run` only).

@@ -8,7 +8,7 @@
 //! example).
 
 use eards_model::{HostId, VmId};
-use eards_sim::SimTime;
+use eards_sim::{Persist, PersistError, Reader, SimTime, Writer};
 
 /// What happened.
 #[derive(Debug, Clone, PartialEq)]
@@ -194,6 +194,197 @@ impl AuditEvent {
             }
         };
         format!("[{}] {}", self.at, body)
+    }
+}
+
+impl Persist for AuditKind {
+    fn persist(&self, w: &mut Writer) {
+        match self {
+            AuditKind::JobArrived { vm } => {
+                w.put_u8(0);
+                vm.persist(w);
+            }
+            AuditKind::CreationStarted { vm, host } => {
+                w.put_u8(1);
+                vm.persist(w);
+                host.persist(w);
+            }
+            AuditKind::VmStarted { vm, host } => {
+                w.put_u8(2);
+                vm.persist(w);
+                host.persist(w);
+            }
+            AuditKind::MigrationStarted { vm, from, to } => {
+                w.put_u8(3);
+                vm.persist(w);
+                from.persist(w);
+                to.persist(w);
+            }
+            AuditKind::MigrationFinished { vm, to } => {
+                w.put_u8(4);
+                vm.persist(w);
+                to.persist(w);
+            }
+            AuditKind::JobCompleted { vm, satisfaction } => {
+                w.put_u8(5);
+                vm.persist(w);
+                w.put_f64(*satisfaction);
+            }
+            AuditKind::CheckpointTaken { vm } => {
+                w.put_u8(6);
+                vm.persist(w);
+            }
+            AuditKind::HostPoweringOn { host } => {
+                w.put_u8(7);
+                host.persist(w);
+            }
+            AuditKind::HostOn { host } => {
+                w.put_u8(8);
+                host.persist(w);
+            }
+            AuditKind::HostPoweringOff { host } => {
+                w.put_u8(9);
+                host.persist(w);
+            }
+            AuditKind::CreationFailed { vm, host } => {
+                w.put_u8(10);
+                vm.persist(w);
+                host.persist(w);
+            }
+            AuditKind::MigrationAborted { vm, from, to } => {
+                w.put_u8(11);
+                vm.persist(w);
+                from.persist(w);
+                to.persist(w);
+            }
+            AuditKind::HostFailed { host, displaced } => {
+                w.put_u8(12);
+                host.persist(w);
+                w.put_usize(*displaced);
+            }
+            AuditKind::BootFailed { host } => {
+                w.put_u8(13);
+                host.persist(w);
+            }
+            AuditKind::SlowdownStarted { host, factor } => {
+                w.put_u8(14);
+                host.persist(w);
+                w.put_f64(*factor);
+            }
+            AuditKind::SlowdownEnded { host } => {
+                w.put_u8(15);
+                host.persist(w);
+            }
+            AuditKind::RackOutage { rack, failed } => {
+                w.put_u8(16);
+                w.put_usize(*rack);
+                w.put_usize(*failed);
+            }
+            AuditKind::HostBlacklisted { host, crashes } => {
+                w.put_u8(17);
+                host.persist(w);
+                w.put_u32(*crashes);
+            }
+            AuditKind::HostRepaired { host } => {
+                w.put_u8(18);
+                host.persist(w);
+            }
+            AuditKind::LambdaAdjusted { lambda_min } => {
+                w.put_u8(19);
+                w.put_f64(*lambda_min);
+            }
+        }
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(match r.get_u8()? {
+            0 => AuditKind::JobArrived {
+                vm: VmId::restore(r)?,
+            },
+            1 => AuditKind::CreationStarted {
+                vm: VmId::restore(r)?,
+                host: HostId::restore(r)?,
+            },
+            2 => AuditKind::VmStarted {
+                vm: VmId::restore(r)?,
+                host: HostId::restore(r)?,
+            },
+            3 => AuditKind::MigrationStarted {
+                vm: VmId::restore(r)?,
+                from: HostId::restore(r)?,
+                to: HostId::restore(r)?,
+            },
+            4 => AuditKind::MigrationFinished {
+                vm: VmId::restore(r)?,
+                to: HostId::restore(r)?,
+            },
+            5 => AuditKind::JobCompleted {
+                vm: VmId::restore(r)?,
+                satisfaction: r.get_f64()?,
+            },
+            6 => AuditKind::CheckpointTaken {
+                vm: VmId::restore(r)?,
+            },
+            7 => AuditKind::HostPoweringOn {
+                host: HostId::restore(r)?,
+            },
+            8 => AuditKind::HostOn {
+                host: HostId::restore(r)?,
+            },
+            9 => AuditKind::HostPoweringOff {
+                host: HostId::restore(r)?,
+            },
+            10 => AuditKind::CreationFailed {
+                vm: VmId::restore(r)?,
+                host: HostId::restore(r)?,
+            },
+            11 => AuditKind::MigrationAborted {
+                vm: VmId::restore(r)?,
+                from: HostId::restore(r)?,
+                to: HostId::restore(r)?,
+            },
+            12 => AuditKind::HostFailed {
+                host: HostId::restore(r)?,
+                displaced: r.get_usize()?,
+            },
+            13 => AuditKind::BootFailed {
+                host: HostId::restore(r)?,
+            },
+            14 => AuditKind::SlowdownStarted {
+                host: HostId::restore(r)?,
+                factor: r.get_f64()?,
+            },
+            15 => AuditKind::SlowdownEnded {
+                host: HostId::restore(r)?,
+            },
+            16 => AuditKind::RackOutage {
+                rack: r.get_usize()?,
+                failed: r.get_usize()?,
+            },
+            17 => AuditKind::HostBlacklisted {
+                host: HostId::restore(r)?,
+                crashes: r.get_u32()?,
+            },
+            18 => AuditKind::HostRepaired {
+                host: HostId::restore(r)?,
+            },
+            19 => AuditKind::LambdaAdjusted {
+                lambda_min: r.get_f64()?,
+            },
+            t => return Err(PersistError::Corrupt(format!("bad AuditKind tag {t}"))),
+        })
+    }
+}
+
+impl Persist for AuditEvent {
+    fn persist(&self, w: &mut Writer) {
+        self.at.persist(w);
+        self.kind.persist(w);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(AuditEvent {
+            at: SimTime::restore(r)?,
+            kind: AuditKind::restore(r)?,
+        })
     }
 }
 

@@ -2,7 +2,7 @@
 
 use eards_model::{FaultPlan, HostClass, HostId, HostSpec};
 use eards_obs::Obs;
-use eards_sim::SimDuration;
+use eards_sim::{Persist, PersistError, Reader, SimDuration, Writer};
 
 /// How aggressively the invariant auditor runs (see
 /// [`crate::InvariantAuditor`]).
@@ -85,15 +85,10 @@ pub struct RunConfig {
     pub checkpoint_period: Option<SimDuration>,
     /// Duration of one checkpoint write.
     pub checkpoint_duration: SimDuration,
-    /// Inject host failures according to each host's reliability factor.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `with_faults(FaultPlan::crashes())` — the boolean only \
-                covers whole-host crashes"
-    )]
-    pub failures: bool,
     /// The fault-injection plan ([`FaultPlan::none`] by default). Set via
-    /// [`RunConfig::with_faults`].
+    /// [`RunConfig::with_faults`]. Reliability-driven host crashes — the
+    /// behaviour of the removed legacy `failures: bool` flag — are
+    /// [`FaultPlan::crashes`].
     pub faults: FaultPlan,
     /// Invariant-auditor mode (always on by default).
     pub auditor: AuditorMode,
@@ -119,7 +114,6 @@ pub struct RunConfig {
 }
 
 impl Default for RunConfig {
-    #[allow(deprecated)] // the deprecated field still needs initializing
     fn default() -> Self {
         RunConfig {
             lambda_min: 0.30,
@@ -134,7 +128,6 @@ impl Default for RunConfig {
             adaptive_lambda: None,
             checkpoint_period: None,
             checkpoint_duration: SimDuration::from_secs(10),
-            failures: false,
             faults: FaultPlan::none(),
             auditor: AuditorMode::On,
             repair_time: SimDuration::from_mins(30),
@@ -176,20 +169,23 @@ impl RunConfig {
         self.obs = obs;
         self
     }
+}
 
-    /// The fault plan the run actually uses: `faults`, with the deprecated
-    /// `failures` boolean folded in for backward compatibility (it maps to
-    /// reliability-driven host crashes repaired after `repair_time`, which
-    /// is exactly what the old flag did).
-    pub fn effective_faults(&self) -> FaultPlan {
-        let mut plan = self.faults.clone();
-        #[allow(deprecated)]
-        if self.failures {
-            plan.host_crashes = true;
-            plan.crash_mttf = None;
-            plan.mttr = self.repair_time;
+impl Persist for AuditorMode {
+    fn persist(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            AuditorMode::Off => 0,
+            AuditorMode::On => 1,
+            AuditorMode::Strict => 2,
+        });
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        match r.get_u8()? {
+            0 => Ok(AuditorMode::Off),
+            1 => Ok(AuditorMode::On),
+            2 => Ok(AuditorMode::Strict),
+            t => Err(PersistError::Corrupt(format!("bad AuditorMode tag {t}"))),
         }
-        plan
     }
 }
 
@@ -260,19 +256,16 @@ mod tests {
     fn with_faults_sets_the_plan() {
         let cfg = RunConfig::default().with_faults(FaultPlan::chaos(1.0));
         assert!(cfg.faults.host_crashes);
-        assert_eq!(cfg.effective_faults(), FaultPlan::chaos(1.0));
+        assert_eq!(cfg.faults, FaultPlan::chaos(1.0));
     }
 
     #[test]
-    #[allow(deprecated, clippy::field_reassign_with_default)]
-    fn legacy_failures_flag_maps_to_crash_plan() {
-        let mut cfg = RunConfig::default();
-        cfg.failures = true;
-        cfg.repair_time = SimDuration::from_hours(1);
-        let plan = cfg.effective_faults();
-        assert!(plan.host_crashes);
-        assert_eq!(plan.crash_mttf, None, "reliability-driven MTTF");
-        assert_eq!(plan.mttr, SimDuration::from_hours(1));
-        assert_eq!(plan.creation_failure_prob, 0.0);
+    fn crashes_plan_replaces_legacy_failures_flag() {
+        // What `failures: true` used to mean: reliability-driven crashes
+        // and nothing else.
+        let cfg = RunConfig::default().with_faults(FaultPlan::crashes());
+        assert!(cfg.faults.host_crashes);
+        assert_eq!(cfg.faults.crash_mttf, None, "reliability-driven MTTF");
+        assert_eq!(cfg.faults.creation_failure_prob, 0.0);
     }
 }

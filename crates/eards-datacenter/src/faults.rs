@@ -17,7 +17,7 @@
 //! [`FaultPlan::none`].
 
 use eards_model::FaultPlan;
-use eards_sim::{SimDuration, SimRng};
+use eards_sim::{Persist, PersistError, Reader, SimDuration, SimRng, Writer};
 
 /// Class-stream tags, XORed into the seed. The crash tag predates this
 /// module and must stay `0xFA11`: legacy `failures: bool` runs derive
@@ -180,6 +180,51 @@ impl FaultEngine {
     }
 }
 
+/// Canonical state: the plan plus the *positions* of every per-host
+/// per-class RNG stream. Re-deriving the streams from the seed on restore
+/// would rewind them to the start of the run and replay already-consumed
+/// fault decisions; the stream states themselves must travel.
+impl Persist for FaultEngine {
+    fn persist(&self, w: &mut Writer) {
+        self.plan.persist(w);
+        self.crash.persist(w);
+        self.boot.persist(w);
+        self.create.persist(w);
+        self.migrate.persist(w);
+        self.slowdown.persist(w);
+        self.rack.persist(w);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let e = FaultEngine {
+            plan: FaultPlan::restore(r)?,
+            crash: Vec::restore(r)?,
+            boot: Vec::restore(r)?,
+            create: Vec::restore(r)?,
+            migrate: Vec::restore(r)?,
+            slowdown: Vec::restore(r)?,
+            rack: Vec::restore(r)?,
+        };
+        // Enabled classes must carry streams; disabled ones must not.
+        let want = |enabled: bool, v: &Vec<SimRng>, class: &str| {
+            if enabled == v.is_empty() {
+                Err(PersistError::Corrupt(format!(
+                    "{class} streams inconsistent with plan (enabled={enabled}, n={})",
+                    v.len()
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        want(e.plan.host_crashes, &e.crash, "crash")?;
+        want(e.plan.boot_failure_prob > 0.0, &e.boot, "boot")?;
+        want(e.plan.creation_failure_prob > 0.0, &e.create, "create")?;
+        want(e.plan.migration_abort_prob > 0.0, &e.migrate, "migrate")?;
+        want(e.plan.slowdown.is_some(), &e.slowdown, "slowdown")?;
+        want(e.plan.rack.is_some(), &e.rack, "rack")?;
+        Ok(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,6 +308,55 @@ mod tests {
         let mut a = FaultEngine::new(plan.clone(), 2, 1);
         let mut b = FaultEngine::new(plan, 2, 999_999);
         assert_eq!(a.time_to_crash(0, 0.9), b.time_to_crash(0, 0.9));
+    }
+
+    #[test]
+    fn persist_round_trip_resumes_streams_mid_draw() {
+        let mut e = FaultEngine::new(FaultPlan::chaos(1.5), 6, 77);
+        // Consume an uneven prefix of several streams.
+        for h in 0..6 {
+            e.time_to_crash(h, 0.9);
+            for _ in 0..h {
+                e.creation_fails(h);
+                e.migration_aborts(h);
+            }
+        }
+        e.boot_fails(2);
+        e.time_to_slowdown(4);
+        e.time_to_rack_outage(0);
+
+        let mut w = Writer::new();
+        e.persist(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let mut restored = FaultEngine::restore(&mut r).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(restored.plan(), e.plan());
+        for h in 0..6 {
+            for _ in 0..20 {
+                assert_eq!(restored.time_to_crash(h, 0.9), e.time_to_crash(h, 0.9));
+                assert_eq!(restored.creation_fails(h), e.creation_fails(h));
+                assert_eq!(restored.migration_aborts(h), e.migration_aborts(h));
+                assert_eq!(restored.boot_fails(h), e.boot_fails(h));
+                assert_eq!(restored.time_to_slowdown(h), e.time_to_slowdown(h));
+            }
+        }
+        assert_eq!(restored.time_to_rack_outage(0), e.time_to_rack_outage(0));
+    }
+
+    #[test]
+    fn restore_rejects_stream_plan_mismatch() {
+        let e = FaultEngine::new(FaultPlan::crashes(), 3, 1);
+        let mut w = Writer::new();
+        // A crashes plan with the crash streams stripped out.
+        e.plan.persist(&mut w);
+        let empty: Vec<SimRng> = Vec::new();
+        for _ in 0..6 {
+            empty.persist(&mut w);
+        }
+        let bytes = w.into_bytes();
+        assert!(FaultEngine::restore(&mut Reader::new(&bytes)).is_err());
     }
 
     #[test]

@@ -24,7 +24,7 @@
 use std::collections::HashSet;
 
 use eards_model::{Cluster, VmId};
-use eards_sim::SimTime;
+use eards_sim::{Persist, PersistError, Reader, SimTime, Writer};
 
 use crate::config::AuditorMode;
 
@@ -146,6 +146,26 @@ impl InvariantAuditor {
             ));
         }
         Ok(())
+    }
+}
+
+/// Canonical state: mode and counters. The `seen` set is per-pass scratch
+/// (cleared at the top of every light pass) and is rebuilt empty.
+impl Persist for InvariantAuditor {
+    fn persist(&self, w: &mut Writer) {
+        self.mode.persist(w);
+        w.put_u64(self.checks);
+        w.put_u64(self.violations);
+        self.messages.persist(w);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(InvariantAuditor {
+            mode: AuditorMode::restore(r)?,
+            checks: r.get_u64()?,
+            violations: r.get_u64()?,
+            messages: Vec::restore(r)?,
+            seen: HashSet::new(),
+        })
     }
 }
 

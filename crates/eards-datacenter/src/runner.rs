@@ -27,7 +27,10 @@ use eards_model::{
     ScheduleContext, ScheduleReason, VmId, VmState,
 };
 use eards_obs::{FaultKind, HistId, Obs, ObsEvent, PowerFlipKind, RecoveryKind};
-use eards_sim::{EventHandle, SimDuration, SimRng, SimTime, Simulator};
+use eards_sim::{
+    read_header, write_header, EventHandle, Persist, PersistError, Reader, SimDuration, SimRng,
+    SimTime, Simulator, Writer,
+};
 use eards_workload::Trace;
 
 use crate::audit::{AuditEvent, AuditKind};
@@ -85,6 +88,110 @@ enum Event {
     LambdaAdjust,
     /// Periodic checkpoint trigger.
     CheckpointTick,
+}
+
+/// Canonical state: the pending-event payloads of a mid-flight run. Every
+/// variant gets a stable tag byte; adding a variant appends a tag (and
+/// bumps [`eards_sim::SNAPSHOT_VERSION`] if an existing tag moves).
+impl Persist for Event {
+    fn persist(&self, w: &mut Writer) {
+        match *self {
+            Event::JobArrival(idx) => {
+                w.put_u8(0);
+                w.put_usize(idx);
+            }
+            Event::CreationDone(vm, seq) => {
+                w.put_u8(1);
+                vm.persist(w);
+                w.put_u64(seq);
+            }
+            Event::MigrationDone(vm, seq) => {
+                w.put_u8(2);
+                vm.persist(w);
+                w.put_u64(seq);
+            }
+            Event::CheckpointDone(vm, seq) => {
+                w.put_u8(3);
+                vm.persist(w);
+                w.put_u64(seq);
+            }
+            Event::JobCompletion(vm) => {
+                w.put_u8(4);
+                vm.persist(w);
+            }
+            Event::BootDone(h) => {
+                w.put_u8(5);
+                h.persist(w);
+            }
+            Event::ShutdownDone(h) => {
+                w.put_u8(6);
+                h.persist(w);
+            }
+            Event::HostFailure(h) => {
+                w.put_u8(7);
+                h.persist(w);
+            }
+            Event::HostRepaired(h) => {
+                w.put_u8(8);
+                h.persist(w);
+            }
+            Event::CreationAborted(vm, seq) => {
+                w.put_u8(9);
+                vm.persist(w);
+                w.put_u64(seq);
+            }
+            Event::MigrationAborted(vm, seq) => {
+                w.put_u8(10);
+                vm.persist(w);
+                w.put_u64(seq);
+            }
+            Event::SlowdownStart(h) => {
+                w.put_u8(11);
+                h.persist(w);
+            }
+            Event::SlowdownEnd(h) => {
+                w.put_u8(12);
+                h.persist(w);
+            }
+            Event::RackOutage(r) => {
+                w.put_u8(13);
+                w.put_usize(r);
+            }
+            Event::RetryRelease(vm) => {
+                w.put_u8(14);
+                vm.persist(w);
+            }
+            Event::SlaCheck => w.put_u8(15),
+            Event::ConsolidationTick => w.put_u8(16),
+            Event::LambdaAdjust => w.put_u8(17),
+            Event::CheckpointTick => w.put_u8(18),
+        }
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(match r.get_u8()? {
+            0 => Event::JobArrival(r.get_usize()?),
+            1 => Event::CreationDone(VmId::restore(r)?, r.get_u64()?),
+            2 => Event::MigrationDone(VmId::restore(r)?, r.get_u64()?),
+            3 => Event::CheckpointDone(VmId::restore(r)?, r.get_u64()?),
+            4 => Event::JobCompletion(VmId::restore(r)?),
+            5 => Event::BootDone(HostId::restore(r)?),
+            6 => Event::ShutdownDone(HostId::restore(r)?),
+            7 => Event::HostFailure(HostId::restore(r)?),
+            8 => Event::HostRepaired(HostId::restore(r)?),
+            9 => Event::CreationAborted(VmId::restore(r)?, r.get_u64()?),
+            10 => Event::MigrationAborted(VmId::restore(r)?, r.get_u64()?),
+            11 => Event::SlowdownStart(HostId::restore(r)?),
+            12 => Event::SlowdownEnd(HostId::restore(r)?),
+            13 => Event::RackOutage(r.get_usize()?),
+            14 => Event::RetryRelease(VmId::restore(r)?),
+            15 => Event::SlaCheck,
+            16 => Event::ConsolidationTick,
+            17 => Event::LambdaAdjust,
+            18 => Event::CheckpointTick,
+            t => return Err(PersistError::Corrupt(format!("bad Event tag {t}"))),
+        })
+    }
 }
 
 /// One configured simulation run.
@@ -148,6 +255,10 @@ pub struct Runner {
     queue_hist: HistId,
     /// Pre-registered histogram of retry-backoff depths (attempt counts).
     retry_hist: HistId,
+    /// True once [`Runner::start`] has armed the t = 0 world (initial
+    /// power-on, arrival schedule, periodic timers). Part of the snapshot:
+    /// a resumed run must not re-run the setup.
+    started: bool,
 }
 
 /// Exponential-backoff state of one VM whose creation or migration
@@ -158,6 +269,19 @@ struct RetryState {
     attempts: u32,
     /// The VM may not be retried before this instant.
     eligible: SimTime,
+}
+
+impl Persist for RetryState {
+    fn persist(&self, w: &mut Writer) {
+        w.put_u32(self.attempts);
+        self.eligible.persist(w);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(RetryState {
+            attempts: r.get_u32()?,
+            eligible: SimTime::restore(r)?,
+        })
+    }
 }
 
 impl Runner {
@@ -188,7 +312,7 @@ impl Runner {
     ) -> Self {
         let label = policy.name();
         let rng = SimRng::seed_from_u64(cfg.seed);
-        let faults = FaultEngine::new(cfg.effective_faults(), hosts.len(), cfg.seed);
+        let faults = FaultEngine::new(cfg.faults.clone(), hosts.len(), cfg.seed);
         let auditor = InvariantAuditor::new(cfg.auditor);
         let crash_counts = vec![0; hosts.len()];
         let obs = cfg.obs.clone();
@@ -230,6 +354,7 @@ impl Runner {
             obs,
             queue_hist,
             retry_hist,
+            started: false,
         }
     }
 
@@ -248,8 +373,9 @@ impl Runner {
 
     /// Executes the simulation and returns the report together with the
     /// audit log (empty unless `cfg.audit` is set).
-    pub fn run_audited(self) -> (RunReport, Vec<AuditEvent>) {
-        self.execute()
+    pub fn run_audited(mut self) -> (RunReport, Vec<AuditEvent>) {
+        while self.step_batch() {}
+        self.finish()
     }
 
     /// Executes the simulation and returns its report.
@@ -257,9 +383,26 @@ impl Runner {
         self.run_audited().0
     }
 
-    fn execute(mut self) -> (RunReport, Vec<AuditEvent>) {
+    /// Current simulated time (the instant of the last processed batch).
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The simulation horizon: the run drains for at most
+    /// `cfg.drain_limit` past the last arrival. Derived state — recomputed
+    /// from the trace on restore, never serialized.
+    fn hard_cap(&self) -> SimTime {
         let last_arrival = self.jobs.last().map(|j| j.submit).unwrap_or(SimTime::ZERO);
-        let hard_cap = last_arrival + self.cfg.drain_limit;
+        last_arrival + self.cfg.drain_limit
+    }
+
+    /// Arms the t = 0 world: initial power-on, the arrival schedule and
+    /// the periodic timers. Idempotent — a restored runner skips it.
+    fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
 
         // Bring up the initial node set instantaneously at t = 0 — the
         // datacenter does not cold-boot in front of the workload. The
@@ -303,31 +446,243 @@ impl Runner {
             self.sim.schedule_after(p, Event::CheckpointTick);
         }
         self.record_metrics();
+    }
 
-        let mut dirty: Option<ScheduleReason> = None;
-        while let Some((now, _, event)) = self.sim.step_before(hard_cap) {
+    /// Processes one event *batch* — every event of the next occupied
+    /// instant, then the scheduling round, power adjustment, metrics and
+    /// audit that close it. Starts the run on first call. Returns `false`
+    /// once the run is over (all jobs done, or the drain horizon passed);
+    /// call [`Runner::finish`] then.
+    ///
+    /// Batch boundaries are the only coherent snapshot points: between
+    /// them no event is half-applied and the metrics are up to date.
+    pub fn step_batch(&mut self) -> bool {
+        // A run that already completed (e.g. restored from a snapshot
+        // taken at the final batch) must not drain leftover periodic
+        // timers past its end.
+        if self.started && self.finished() {
+            return false;
+        }
+        self.start();
+        let hard_cap = self.hard_cap();
+        let Some((now, _, event)) = self.sim.step_before(hard_cap) else {
+            return false;
+        };
+        // Keep the earliest scheduling reason of the batch.
+        let mut dirty = self.handle(now, event);
+        // Batch all events of this instant before scheduling/metrics.
+        while self.sim.peek_time() == Some(now) {
+            let (_, _, event) = self
+                .sim
+                .step_before(hard_cap)
+                // lint:allow(P001): peek_time just proved an event exists here
+                .expect("peeked event at the current instant");
             if let Some(reason) = self.handle(now, event) {
-                // Keep the earliest reason of the batch.
                 dirty = dirty.or(Some(reason));
             }
-            // Batch all events of this instant before scheduling/metrics.
-            if self.sim.peek_time() == Some(now) {
-                continue;
-            }
-            if let Some(reason) = dirty.take() {
-                self.schedule_round(now, reason);
-                self.adjust_power(now);
-            }
-            self.record_metrics();
-            self.audit_invariants(now);
-            if self.finished() {
-                break;
-            }
         }
+        if let Some(reason) = dirty {
+            self.schedule_round(now, reason);
+            self.adjust_power(now);
+        }
+        self.record_metrics();
+        self.audit_invariants(now);
+        !self.finished()
+    }
 
+    /// Closes the books after the last [`Runner::step_batch`] and returns
+    /// the report plus the audit log.
+    pub fn finish(mut self) -> (RunReport, Vec<AuditEvent>) {
         let end = self.sim.now();
         let audit = std::mem::take(&mut self.audit);
         (self.finalize(end), audit)
+    }
+
+    // ----- snapshot / restore ----------------------------------------------
+    //
+    // Canonical vs. rebuilt state. Serialized: the engine (clock, event
+    // queue with live handles, RNG), the cluster, the fault engine's RNG
+    // stream positions, the retry/backoff and blacklist bookkeeping, every
+    // accumulated metric, and a policy-private block. Rebuilt on restore
+    // from the constructor arguments: the power model, the job list (from
+    // the trace), the obs handle and its histogram registrations, the
+    // report label, and the `power_scratch` buffer. The drain horizon
+    // (`hard_cap`) is derived from the trace and recomputed.
+
+    /// Serializes the full mid-flight run state. Call at a batch boundary
+    /// (between [`Runner::step_batch`] calls); the driver loop never
+    /// exposes a half-applied batch.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        write_header(&mut w);
+        self.persist_body(&mut w);
+        w.into_bytes()
+    }
+
+    /// Rebuilds a run from `bytes`, with the paper's Table-I power model.
+    /// `hosts`, `trace`, `policy` and `cfg` must be the ones the
+    /// snapshotted run was built with — the snapshot carries fingerprint
+    /// fields (host count, job count, seed) and rejects mismatches.
+    pub fn restore(
+        hosts: Vec<HostSpec>,
+        trace: Trace,
+        policy: Box<dyn Policy>,
+        cfg: RunConfig,
+        bytes: &[u8],
+    ) -> Result<Self, PersistError> {
+        Self::restore_with_power_model(
+            hosts,
+            trace,
+            policy,
+            cfg,
+            Box::new(CalibratedPowerModel::paper_4way()),
+            bytes,
+        )
+    }
+
+    /// As [`Runner::restore`] with an explicit power model.
+    pub fn restore_with_power_model(
+        hosts: Vec<HostSpec>,
+        trace: Trace,
+        policy: Box<dyn Policy>,
+        cfg: RunConfig,
+        model: Box<dyn PowerModel>,
+        bytes: &[u8],
+    ) -> Result<Self, PersistError> {
+        let mut r = Reader::new(bytes);
+        read_header(&mut r)?;
+        let mut runner = Self::with_power_model(hosts, trace, policy, cfg, model);
+        runner.restore_body(&mut r)?;
+        r.finish()?;
+        Ok(runner)
+    }
+
+    fn persist_body(&self, w: &mut Writer) {
+        w.put_bool(self.started);
+        // Fingerprint fields: restore validates these against the world it
+        // was handed, catching a snapshot replayed onto the wrong run.
+        w.put_u32(self.cluster.num_hosts() as u32);
+        w.put_u64(self.jobs.len() as u64);
+        w.put_u64(self.cfg.seed);
+
+        self.sim.persist(w);
+        self.rng.persist(w);
+        // HashMaps are serialized as key-sorted pair lists so the byte
+        // stream never depends on hasher state.
+        let mut completion: Vec<(VmId, EventHandle)> =
+            // lint:allow(D001): collected then key-sorted before serializing
+            self.completion.iter().map(|(&k, &v)| (k, v)).collect();
+        completion.sort_by_key(|&(vm, _)| vm);
+        completion.persist(w);
+        let failure: Vec<(HostId, EventHandle)> =
+            self.failure_timer.iter().map(|(&k, &v)| (k, v)).collect();
+        failure.persist(w);
+        let slowdown: Vec<(HostId, EventHandle)> =
+            self.slowdown_timer.iter().map(|(&k, &v)| (k, v)).collect();
+        slowdown.persist(w);
+        self.faults.persist(w);
+        let mut retry: Vec<(VmId, RetryState)> =
+            // lint:allow(D001): collected then key-sorted before serializing
+            self.retry.iter().map(|(&k, &v)| (k, v)).collect();
+        retry.sort_by_key(|&(vm, _)| vm);
+        retry.persist(w);
+        self.crash_counts.persist(w);
+        let mut displaced: Vec<(VmId, SimTime)> =
+            // lint:allow(D001): collected then key-sorted before serializing
+            self.displaced_at.iter().map(|(&k, &v)| (k, v)).collect();
+        displaced.sort_by_key(|&(vm, _)| vm);
+        displaced.persist(w);
+        self.auditor.persist(w);
+        self.fstats.persist(w);
+        w.put_f64(self.recovery_total_secs);
+
+        self.power_series.persist(w);
+        self.power_tw.persist(w);
+        self.working_tw.persist(w);
+        self.online_tw.persist(w);
+        self.outcomes.persist(w);
+        w.put_usize(self.jobs_done);
+        w.put_u64(self.migrations);
+        w.put_u64(self.creations);
+        w.put_u64(self.host_failures);
+        w.put_u64(self.vms_displaced);
+        w.put_f64(self.lambda_min);
+        self.audit.persist(w);
+        self.sat_window.persist(w);
+        self.cluster.persist(w);
+        // Policy-private state rides in a length-prefixed block so the
+        // outer layout stays policy-agnostic.
+        w.put_block(|w| self.policy.persist_state(w));
+    }
+
+    fn restore_body(&mut self, r: &mut Reader<'_>) -> Result<(), PersistError> {
+        self.started = r.get_bool()?;
+        let hosts = r.get_u32()? as usize;
+        if hosts != self.cluster.num_hosts() {
+            return Err(PersistError::Corrupt(format!(
+                "snapshot taken over {hosts} hosts, run built with {}",
+                self.cluster.num_hosts()
+            )));
+        }
+        let jobs = r.get_u64()? as usize;
+        if jobs != self.jobs.len() {
+            return Err(PersistError::Corrupt(format!(
+                "snapshot taken over {jobs} jobs, trace carries {}",
+                self.jobs.len()
+            )));
+        }
+        let seed = r.get_u64()?;
+        if seed != self.cfg.seed {
+            return Err(PersistError::Corrupt(format!(
+                "snapshot seed {seed:#x} does not match configured {:#x}",
+                self.cfg.seed
+            )));
+        }
+
+        self.sim = Simulator::restore(r)?;
+        self.rng = SimRng::restore(r)?;
+        self.completion = Vec::<(VmId, EventHandle)>::restore(r)?
+            .into_iter()
+            .collect();
+        self.failure_timer = Vec::<(HostId, EventHandle)>::restore(r)?
+            .into_iter()
+            .collect();
+        self.slowdown_timer = Vec::<(HostId, EventHandle)>::restore(r)?
+            .into_iter()
+            .collect();
+        self.faults = FaultEngine::restore(r)?;
+        self.retry = Vec::<(VmId, RetryState)>::restore(r)?.into_iter().collect();
+        self.crash_counts = Vec::restore(r)?;
+        if self.crash_counts.len() != self.cluster.num_hosts() {
+            return Err(PersistError::Corrupt(format!(
+                "crash-count table covers {} hosts, expected {}",
+                self.crash_counts.len(),
+                self.cluster.num_hosts()
+            )));
+        }
+        self.displaced_at = Vec::<(VmId, SimTime)>::restore(r)?.into_iter().collect();
+        self.auditor = InvariantAuditor::restore(r)?;
+        self.fstats = FaultStats::restore(r)?;
+        self.recovery_total_secs = r.get_f64()?;
+
+        self.power_series = TimeSeries::restore(r)?;
+        self.power_tw = TimeWeighted::restore(r)?;
+        self.working_tw = TimeWeighted::restore(r)?;
+        self.online_tw = TimeWeighted::restore(r)?;
+        self.outcomes = Vec::restore(r)?;
+        self.jobs_done = r.get_usize()?;
+        self.migrations = r.get_u64()?;
+        self.creations = r.get_u64()?;
+        self.host_failures = r.get_u64()?;
+        self.vms_displaced = r.get_u64()?;
+        self.lambda_min = r.get_f64()?;
+        self.audit = Vec::restore(r)?;
+        self.sat_window = eards_metrics::Summary::restore(r)?;
+        self.cluster = Cluster::restore(r)?;
+        let mut block = r.get_block()?;
+        self.policy.restore_state(&mut block)?;
+        block.finish()?;
+        Ok(())
     }
 
     // ----- event handling --------------------------------------------------

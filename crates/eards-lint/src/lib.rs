@@ -13,6 +13,7 @@
 //! | `D002` | wall-clock reads (`Instant::now`, `SystemTime`) outside `eards-obs`/`eards-bench` |
 //! | `D003` | ambient randomness (`thread_rng`, `rand::random`, `from_entropy`) anywhere |
 //! | `D004` | `partial_cmp(..).unwrap()/expect(..)` on floats — use `total_cmp` |
+//! | `D005` | wall-clock / ambient-randomness APIs inside an `impl Persist` block |
 //! | `P001` | `unwrap`/`expect`/`panic!`/literal indexing in sim library code |
 //! | `C001` | raw float↔int `as` casts in `SimTime` arithmetic |
 //! | `S001` | `lint:allow` marker missing its mandatory reason |

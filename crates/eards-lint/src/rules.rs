@@ -25,6 +25,12 @@ pub enum RuleId {
     /// `partial_cmp(..).unwrap()/expect(..)` on floats: NaN panics at a
     /// distance; use `f64::total_cmp`.
     D004,
+    /// Wall-clock or ambient-randomness APIs (`Instant`, `SystemTime`,
+    /// `thread_rng`) inside an `impl Persist` block: snapshot state must
+    /// restore bit-identically on any machine at any time, so nothing
+    /// host- or wall-clock-derived may be serialized. Applies everywhere,
+    /// even in the crates D002 allowlists.
+    D005,
     /// `unwrap`/`expect`/`panic!`/indexing-by-literal in non-test library
     /// code of the sim-affecting crates.
     P001,
@@ -43,6 +49,7 @@ impl RuleId {
         RuleId::D002,
         RuleId::D003,
         RuleId::D004,
+        RuleId::D005,
         RuleId::P001,
         RuleId::C001,
         RuleId::S001,
@@ -55,6 +62,7 @@ impl RuleId {
             RuleId::D002 => "D002",
             RuleId::D003 => "D003",
             RuleId::D004 => "D004",
+            RuleId::D005 => "D005",
             RuleId::P001 => "P001",
             RuleId::C001 => "C001",
             RuleId::S001 => "S001",
@@ -73,6 +81,7 @@ impl RuleId {
             RuleId::D002 => "wall-clock read outside the observability/bench allowlist",
             RuleId::D003 => "ambient randomness instead of a seeded SimRng stream",
             RuleId::D004 => "partial_cmp().unwrap()/expect() on floats; use total_cmp",
+            RuleId::D005 => "wall-clock/ambient-randomness API inside an impl Persist block",
             RuleId::P001 => "panic hazard (unwrap/expect/panic!/literal index) in sim library code",
             RuleId::C001 => "raw float<->int `as` cast in SimTime arithmetic",
             RuleId::S001 => "lint:allow marker without the mandatory reason",
@@ -101,6 +110,7 @@ pub fn check_file(f: &SourceFile) -> Vec<Finding> {
     d002_wall_clock(f, &mut out);
     d003_ambient_randomness(f, &mut out);
     d004_partial_cmp_unwrap(f, &mut out);
+    d005_wall_state_in_persist(f, &mut out);
     p001_panic_hazards(f, &mut out);
     c001_simtime_casts(f, &mut out);
     // Malformed suppressions: not suppressible by construction.
@@ -338,6 +348,75 @@ fn d004_partial_cmp_unwrap(f: &SourceFile, out: &mut Vec<Finding>) {
                     .into(),
             );
         }
+    }
+}
+
+/// APIs that have no business near serialized state: wall clocks drift
+/// between machines, ambient RNGs reseed per process.
+const D005_FORBIDDEN: &[&str] = &["Instant", "SystemTime", "thread_rng"];
+
+/// D005 — wall-clock or ambient-randomness APIs inside an `impl Persist`
+/// block. A snapshot must restore bit-identically on a different machine
+/// at a different time, so nothing derived from `Instant`, `SystemTime`
+/// or `thread_rng` may flow through `persist`/`restore`. Unlike D002 this
+/// applies in *every* crate: even the clock-allowlisted observability
+/// layer must keep wall time out of its persisted form.
+fn d005_wall_state_in_persist(f: &SourceFile, out: &mut Vec<Finding>) {
+    let n = f.code.len();
+    let mut i = 0;
+    while i < n {
+        if !f.ct_is(i, "impl") {
+            i += 1;
+            continue;
+        }
+        // Scan the impl header up to its body brace; it is a Persist impl
+        // when the trait position reads `… Persist for …` (generic bounds
+        // like `impl<T: Persist> Persist for Vec<T>` still qualify).
+        let mut header_end = i + 1;
+        let mut is_persist = false;
+        while header_end < n && !f.ct_punct(header_end, '{') {
+            if f.ct_is(header_end, "Persist") && f.ct_is(header_end + 1, "for") {
+                is_persist = true;
+            }
+            header_end += 1;
+        }
+        if !is_persist {
+            i = header_end + 1;
+            continue;
+        }
+        // Brace-match the impl body and flag forbidden APIs inside it.
+        let mut depth = 0usize;
+        let mut j = header_end;
+        while j < n {
+            if f.ct_punct(j, '{') {
+                depth += 1;
+            } else if f.ct_punct(j, '}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if let Some(t) = f.ct(j) {
+                if t.kind == TokenKind::Ident
+                    && D005_FORBIDDEN.contains(&t.text.as_str())
+                    && !f.in_test_code(t.line)
+                {
+                    emit(
+                        f,
+                        out,
+                        RuleId::D005,
+                        t.line,
+                        format!(
+                            "`{}` inside an `impl Persist` block: snapshots must \
+                             restore bit-identically, so persisted state cannot \
+                             come from wall clocks or ambient RNGs",
+                            t.text
+                        ),
+                    );
+                }
+            }
+            j += 1;
+        }
+        i = j + 1;
     }
 }
 

@@ -125,6 +125,42 @@ fn d004_negative() {
 }
 
 #[test]
+fn d005_positive_even_in_clock_allowed_crates() {
+    // eards-obs is on D002's allowlist, so these wall-clock reads would
+    // otherwise pass; inside `impl Persist` they are still findings
+    // (thread_rng additionally draws its usual D003).
+    expect(
+        "crates/eards-obs/src/fixture.rs",
+        include_str!("../fixtures/d005_pos.rs"),
+        &[
+            (RuleId::D005, 6),
+            (RuleId::D005, 7),
+            (RuleId::D003, 8),
+            (RuleId::D005, 8),
+            (RuleId::D005, 16),
+        ],
+    );
+}
+
+#[test]
+fn d005_overlaps_d002_in_sim_crates() {
+    // In a sim crate the same source draws D002 too — fixing the impl
+    // clears both, exactly like the D004/P001 overlap.
+    let got = run(SIM, include_str!("../fixtures/d005_pos.rs"));
+    assert!(got.contains(&(RuleId::D005, 6)));
+    assert!(got.contains(&(RuleId::D002, 6)));
+}
+
+#[test]
+fn d005_negative() {
+    expect(
+        "crates/eards-obs/src/fixture.rs",
+        include_str!("../fixtures/d005_neg.rs"),
+        &[],
+    );
+}
+
+#[test]
 fn p001_positive() {
     expect(
         "crates/eards-datacenter/src/fixture.rs",

@@ -6,7 +6,7 @@
 //! integrals (energy, CPU·hours) and time-weighted means (average working
 //! nodes) are computed without discretization error.
 
-use eards_sim::{SimDuration, SimTime};
+use eards_sim::{Persist, PersistError, Reader, SimDuration, SimTime, Writer};
 
 /// One step of a piecewise-constant signal: `value` holds from `at` until
 /// the next point.
@@ -218,6 +218,49 @@ impl TimeWeighted {
             return self.value;
         }
         self.integral(now) / span
+    }
+}
+
+impl Persist for SeriesPoint {
+    fn persist(&self, w: &mut Writer) {
+        self.at.persist(w);
+        w.put_f64(self.value);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(SeriesPoint {
+            at: SimTime::restore(r)?,
+            value: r.get_f64()?,
+        })
+    }
+}
+
+impl Persist for TimeSeries {
+    fn persist(&self, w: &mut Writer) {
+        self.points.persist(w);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let points: Vec<SeriesPoint> = Vec::restore(r)?;
+        if points.windows(2).any(|p| p[1].at < p[0].at) {
+            return Err(PersistError::Corrupt("time series out of order".into()));
+        }
+        Ok(TimeSeries { points })
+    }
+}
+
+impl Persist for TimeWeighted {
+    fn persist(&self, w: &mut Writer) {
+        w.put_f64(self.value);
+        self.last_change.persist(w);
+        w.put_f64(self.integral);
+        self.started.persist(w);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(TimeWeighted {
+            value: r.get_f64()?,
+            last_change: SimTime::restore(r)?,
+            integral: r.get_f64()?,
+            started: SimTime::restore(r)?,
+        })
     }
 }
 

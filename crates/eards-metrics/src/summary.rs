@@ -1,5 +1,7 @@
 //! Streaming summary statistics (Welford) and percentile helpers.
 
+use eards_sim::{Persist, PersistError, Reader, Writer};
+
 /// Streaming mean / variance accumulator (Welford's algorithm), plus
 /// min/max. Numerically stable for long simulations.
 #[derive(Debug, Clone, Default)]
@@ -85,6 +87,25 @@ impl Summary {
         self.m2 = m2;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+}
+
+impl Persist for Summary {
+    fn persist(&self, w: &mut Writer) {
+        w.put_u64(self.n);
+        w.put_f64(self.mean);
+        w.put_f64(self.m2);
+        w.put_f64(self.min);
+        w.put_f64(self.max);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(Summary {
+            n: r.get_u64()?,
+            mean: r.get_f64()?,
+            m2: r.get_f64()?,
+            min: r.get_f64()?,
+            max: r.get_f64()?,
+        })
     }
 }
 

@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use eards_sim::SimTime;
+use eards_sim::{Persist, PersistError, Reader, SimTime, Writer};
 
 use crate::host::{HostSpec, InFlightOp, OpKind, PowerState};
 use crate::ids::{HostId, VmId};
@@ -778,6 +778,92 @@ impl Cluster {
     }
 }
 
+/// Canonical state: spec, power state, residency lists (order matters —
+/// allocation math iterates them), in-flight ops, and the fault-layer
+/// multipliers. Everything a host owns is canonical; nothing is rebuilt.
+impl Persist for Host {
+    fn persist(&self, w: &mut Writer) {
+        self.spec.persist(w);
+        self.power.persist(w);
+        self.resident.persist(w);
+        self.incoming.persist(w);
+        self.ops.persist(w);
+        w.put_f64(self.cpu_factor);
+        w.put_f64(self.reliability_penalty);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(Host {
+            spec: HostSpec::restore(r)?,
+            power: PowerState::restore(r)?,
+            resident: Vec::restore(r)?,
+            incoming: Vec::restore(r)?,
+            ops: Vec::restore(r)?,
+            cpu_factor: r.get_f64()?,
+            reliability_penalty: r.get_f64()?,
+        })
+    }
+}
+
+/// The VM map is serialized as a vector sorted by [`VmId`] so the byte
+/// stream is independent of `HashMap` iteration order. Restore re-keys it
+/// and then runs the full structural [`Cluster::verify`] pass, so a
+/// corrupt or hand-edited snapshot cannot smuggle in an inconsistent
+/// world state.
+impl Persist for Cluster {
+    fn persist(&self, w: &mut Writer) {
+        self.hosts.persist(w);
+        // lint:allow(D001): collected then id-sorted before serializing
+        let mut vms: Vec<&Vm> = self.vms.values().collect();
+        vms.sort_by_key(|v| v.id);
+        w.put_len(vms.len());
+        // lint:allow(D001): iterates the sorted Vec above, not the map
+        for v in vms {
+            v.persist(w);
+        }
+        self.queue.persist(w);
+        w.put_u64(self.next_vm_id);
+        w.put_u64(self.next_op_seq);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let hosts: Vec<Host> = Vec::restore(r)?;
+        for (i, h) in hosts.iter().enumerate() {
+            if h.spec.id.raw() as usize != i {
+                return Err(PersistError::Corrupt(format!(
+                    "host {} out of id order (slot {i})",
+                    h.spec.id
+                )));
+            }
+        }
+        let n = r.get_len()?;
+        let mut vms = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let v = Vm::restore(r)?;
+            let id = v.id;
+            if vms.insert(id, v).is_some() {
+                return Err(PersistError::Corrupt(format!("duplicate {id} in snapshot")));
+            }
+        }
+        let queue: Vec<VmId> = Vec::restore(r)?;
+        let next_vm_id = r.get_u64()?;
+        let next_op_seq = r.get_u64()?;
+        // lint:allow(D001): existence check; any match fails regardless of order
+        if let Some(v) = vms.keys().find(|v| v.raw() >= next_vm_id) {
+            return Err(PersistError::Corrupt(format!(
+                "{v} at or beyond next_vm_id {next_vm_id}"
+            )));
+        }
+        let c = Cluster {
+            hosts,
+            vms,
+            queue,
+            next_vm_id,
+            next_op_seq,
+        };
+        c.verify().map_err(PersistError::Corrupt)?;
+        Ok(c)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -806,6 +892,98 @@ mod tests {
 
     fn t(secs: u64) -> SimTime {
         SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn persist_round_trip_mid_lifecycle() {
+        use eards_sim::{Reader, Writer};
+
+        // Build a cluster with every kind of in-flight state: a running VM,
+        // a migrating VM, a creating VM, a queued VM, a finished VM, a
+        // booting host, and fault-layer multipliers.
+        let mut c = cluster(4);
+        let done = c.submit_job(job(1, 100, 10));
+        c.start_creation(done, HostId(0), t(0), t(40));
+        c.finish_creation(done, t(40));
+        c.reallocate_host(HostId(0), t(40));
+        c.finish_vm(done, t(60));
+
+        let running = c.submit_job(job(2, 200, 1000));
+        c.start_creation(running, HostId(0), t(60), t(100));
+        c.finish_creation(running, t(100));
+        c.reallocate_host(HostId(0), t(100));
+
+        let migrating = c.submit_job(job(3, 100, 1000));
+        c.start_creation(migrating, HostId(1), t(60), t(100));
+        c.finish_creation(migrating, t(100));
+        c.reallocate_host(HostId(1), t(100));
+        c.start_migration(migrating, HostId(2), t(120), t(180));
+
+        let creating = c.submit_job(job(4, 100, 500));
+        c.start_creation(creating, HostId(2), t(120), t(160));
+        let _queued = c.submit_job(job(5, 100, 500));
+
+        c.begin_power_off(HostId(3), t(120));
+        c.complete_power_off(HostId(3));
+        c.begin_power_on(HostId(3), t(130));
+        c.set_cpu_factor(HostId(1), 0.5);
+        c.blacklist(HostId(2), 0.05);
+        c.check_invariants();
+
+        let mut w = Writer::new();
+        c.persist(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let restored = Cluster::restore(&mut r).unwrap();
+        r.finish().unwrap();
+
+        // The restored world re-serializes to the identical byte stream —
+        // the snapshot is a fixed point.
+        let mut w2 = Writer::new();
+        restored.persist(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
+
+        // Spot checks: placements, queue order, counters, fault multipliers.
+        assert_eq!(restored.queue(), c.queue());
+        assert_eq!(restored.num_vms(), c.num_vms());
+        assert_eq!(restored.vm(running).alloc, c.vm(running).alloc);
+        assert_eq!(
+            restored.vm(migrating).state,
+            VmState::Migrating { to: HostId(2) }
+        );
+        assert_eq!(restored.host(HostId(1)).cpu_factor, 0.5);
+        assert!(restored.is_blacklisted(HostId(2)));
+        assert!(matches!(
+            restored.host(HostId(3)).power,
+            PowerState::Booting { .. }
+        ));
+
+        // And the restored cluster keeps functioning: next op/vm ids
+        // continue where the original left off.
+        let mut restored = restored;
+        let next = restored.submit_job(job(6, 100, 100));
+        assert_eq!(next, VmId(c.num_vms() as u64));
+        let seq = restored.start_creation(next, HostId(0), t(200), t(240));
+        let next2 = c.submit_job(job(6, 100, 100));
+        let seq2 = c.start_creation(next2, HostId(0), t(200), t(240));
+        assert_eq!((next, seq), (next2, seq2));
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_worlds() {
+        use eards_sim::{Reader, Writer};
+
+        let mut c = cluster(1);
+        let vm = c.submit_job(job(1, 100, 100));
+        c.start_creation(vm, HostId(0), t(0), t(40));
+        let mut w = Writer::new();
+        c.persist(&mut w);
+        let good = w.into_bytes();
+        assert!(Cluster::restore(&mut Reader::new(&good)).is_ok());
+
+        // Truncation is an error, not a partial world.
+        let mut r = Reader::new(&good[..good.len() - 4]);
+        assert!(Cluster::restore(&mut r).is_err());
     }
 
     #[test]

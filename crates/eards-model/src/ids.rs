@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use eards_sim::{Persist, PersistError, Reader, Writer};
+
 macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident($inner:ty), $prefix:literal) => {
         $(#[$doc])*
@@ -41,6 +43,33 @@ id_type!(
     JobId(u64),
     "j"
 );
+
+impl Persist for HostId {
+    fn persist(&self, w: &mut Writer) {
+        w.put_u32(self.0);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(HostId(r.get_u32()?))
+    }
+}
+
+impl Persist for VmId {
+    fn persist(&self, w: &mut Writer) {
+        w.put_u64(self.0);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(VmId(r.get_u64()?))
+    }
+}
+
+impl Persist for JobId {
+    fn persist(&self, w: &mut Writer) {
+        w.put_u64(self.0);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(JobId(r.get_u64()?))
+    }
+}
 
 #[cfg(test)]
 mod tests {

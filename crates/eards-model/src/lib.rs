@@ -45,3 +45,8 @@ pub use power::{
 };
 pub use units::{Cpu, Mem, Resources};
 pub use vm::{Vm, VmState, MIGRATION_SLOWDOWN};
+
+// The snapshot codec, re-exported so policy implementations and the
+// datacenter driver speak one `Persist` vocabulary without a direct
+// `eards-sim` dependency at every use site.
+pub use eards_sim::{Persist, PersistError, Reader, Writer};

@@ -8,7 +8,7 @@
 //! the score-based scheduler can pick victims by matrix score while the
 //! baselines use their own heuristics.
 
-use eards_sim::SimTime;
+use eards_sim::{PersistError, Reader, SimTime, Writer};
 
 use crate::cluster::Cluster;
 use crate::ids::{HostId, VmId};
@@ -91,6 +91,19 @@ pub trait Policy {
     /// etc." (§III-C); the score-based policy overrides this.
     fn rank_power_on(&self, _cluster: &Cluster, candidates: &[HostId]) -> Vec<HostId> {
         candidates.to_vec()
+    }
+
+    /// Writes the policy's canonical state into a snapshot. Stateless
+    /// policies (and policies whose working set is pure scratch, rebuilt
+    /// every round) keep the default no-op. Policies that carry decision
+    /// state across rounds — an RNG, a rotation cursor — must override
+    /// both hooks, or a restored run diverges from an uninterrupted one.
+    fn persist_state(&self, _w: &mut Writer) {}
+
+    /// Restores state written by [`Policy::persist_state`]. The default
+    /// accepts the empty payload the default `persist_state` produced.
+    fn restore_state(&mut self, _r: &mut Reader<'_>) -> Result<(), PersistError> {
+        Ok(())
     }
 }
 

@@ -14,6 +14,8 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
+use eards_sim::{Persist, PersistError, Reader, Writer};
+
 /// CPU in percent points of one core (100 = one full core).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Cpu(pub u32);
@@ -180,6 +182,37 @@ impl Resources {
 impl fmt::Display for Resources {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[{}, {}]", self.cpu, self.mem)
+    }
+}
+
+impl Persist for Cpu {
+    fn persist(&self, w: &mut Writer) {
+        w.put_u32(self.0);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(Cpu(r.get_u32()?))
+    }
+}
+
+impl Persist for Mem {
+    fn persist(&self, w: &mut Writer) {
+        w.put_u32(self.0);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(Mem(r.get_u32()?))
+    }
+}
+
+impl Persist for Resources {
+    fn persist(&self, w: &mut Writer) {
+        self.cpu.persist(w);
+        self.mem.persist(w);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(Resources {
+            cpu: Cpu::restore(r)?,
+            mem: Mem::restore(r)?,
+        })
     }
 }
 

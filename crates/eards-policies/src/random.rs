@@ -5,8 +5,8 @@
 //! overcommitted — the policy is oblivious to load, which is exactly why
 //! Table II reports 33% satisfaction and 475% delay for it.
 
-use eards_model::{Action, Cluster, Policy, ScheduleContext};
-use eards_sim::SimRng;
+use eards_model::{Action, Cluster, PersistError, Policy, Reader, ScheduleContext, Writer};
+use eards_sim::{Persist, SimRng};
 
 use crate::common::{ready_hosts, Planner};
 
@@ -49,6 +49,17 @@ impl Policy for RandomPolicy {
             }
         }
         actions
+    }
+
+    // The RNG position is the policy's entire cross-round state; without
+    // it a resumed run would re-draw the sequence from the seed.
+    fn persist_state(&self, w: &mut Writer) {
+        self.rng.persist(w);
+    }
+
+    fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), PersistError> {
+        self.rng = SimRng::restore(r)?;
+        Ok(())
     }
 }
 

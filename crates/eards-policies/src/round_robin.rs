@@ -7,7 +7,7 @@
 //! are still strictly free before overcommitting. The result is the
 //! sparsest packing of all policies — Table II's highest power draw.
 
-use eards_model::{Action, Cluster, HostId, Policy, ScheduleContext};
+use eards_model::{Action, Cluster, HostId, PersistError, Policy, Reader, ScheduleContext, Writer};
 
 use crate::common::{ready_hosts, Planner};
 
@@ -61,6 +61,16 @@ impl Policy for RoundRobinPolicy {
             }
         }
         actions
+    }
+
+    // The rotation cursor is the policy's entire cross-round state.
+    fn persist_state(&self, w: &mut Writer) {
+        w.put_usize(self.cursor);
+    }
+
+    fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), PersistError> {
+        self.cursor = r.get_usize()?;
+        Ok(())
     }
 }
 

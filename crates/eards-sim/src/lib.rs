@@ -14,6 +14,9 @@
 //! * [`SimRng`] — a seedable PRNG with the distribution samplers the model
 //!   needs (Normal, LogNormal, Exponential, Weibull, bounded Pareto), plus
 //!   `fork` for decorrelated per-subsystem streams.
+//! * [`Persist`] — the snapshot trait and its versioned, length-prefixed
+//!   binary codec ([`Writer`] / [`Reader`]), so a run can be checkpointed
+//!   and resumed bit-identically.
 //!
 //! Everything above the engine (hosts, VMs, power) lives in `eards-model`;
 //! everything in the paper's evaluation (policies, the score-based
@@ -43,12 +46,17 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod persist;
 mod queue;
 mod rng;
 mod time;
 mod wheel;
 
 pub use engine::{run, Simulator};
+pub use persist::{
+    read_header, write_header, Persist, PersistError, Reader, Writer, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+};
 pub use queue::{EventHandle, EventQueue};
 pub use rng::SimRng;
 pub use time::{

@@ -1,0 +1,532 @@
+//! Snapshot serialization: the [`Persist`] trait and its binary codec.
+//!
+//! Every stateful layer of the simulator implements [`Persist`] so a whole
+//! run can be checkpointed mid-flight and resumed bit-identically. The
+//! format is a hand-rolled, versioned, length-prefixed binary codec — no
+//! serde, matching the hand-rolled exporters in `eards-obs::export` — with
+//! these conventions:
+//!
+//! * all integers are **little-endian** fixed width; `usize` is encoded as
+//!   `u64`;
+//! * floats are encoded as their IEEE-754 bit pattern (`f64::to_bits`), so
+//!   restore is exact, NaN payloads included;
+//! * variable-length data (strings, sequences, nested blocks) carries a
+//!   `u32` length prefix;
+//! * enums are encoded as a `u8` discriminant tag followed by the variant's
+//!   fields;
+//! * a snapshot file starts with the 8-byte magic [`SNAPSHOT_MAGIC`]
+//!   followed by a version byte ([`SNAPSHOT_VERSION`]); readers reject
+//!   unknown versions instead of guessing.
+//!
+//! Only **canonical** state is serialized. Transient state — recycled
+//! scratch buffers, observability sinks, derived caches — is rebuilt on
+//! restore; each implementer documents its split. Snapshot code must be
+//! deterministic: no wall-clock reads, no ambient RNGs (lint rule `D005`
+//! enforces this inside `impl Persist` blocks).
+
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Magic bytes opening every snapshot produced by this workspace.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"EARDSNAP";
+
+/// Current snapshot format version. Bump on any encoding change; readers
+/// reject snapshots written by other versions.
+pub const SNAPSHOT_VERSION: u8 = 1;
+
+/// A type whose canonical state can be written to and rebuilt from the
+/// snapshot codec.
+///
+/// The contract is exact round-tripping: `restore(persist(x)) == x` for
+/// every observable behaviour of the type (RNG streams continue where they
+/// left off, queues pop in the same order, counters keep counting).
+pub trait Persist: Sized {
+    /// Appends this value's canonical state to `w`.
+    fn persist(&self, w: &mut Writer);
+
+    /// Rebuilds a value from `r`, consuming exactly the bytes `persist`
+    /// wrote.
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError>;
+}
+
+/// Why a snapshot could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The input ended before a field could be read.
+    UnexpectedEof {
+        /// Byte offset at which the read was attempted.
+        offset: usize,
+        /// Number of bytes the read needed.
+        needed: usize,
+    },
+    /// The input does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The input's version byte is not [`SNAPSHOT_VERSION`].
+    UnsupportedVersion(u8),
+    /// A field decoded to a value that violates an invariant.
+    Corrupt(String),
+    /// Decoding finished with unread bytes left over.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::UnexpectedEof { offset, needed } => {
+                write!(
+                    f,
+                    "unexpected end of snapshot at byte {offset} (needed {needed} more)"
+                )
+            }
+            PersistError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (expected {SNAPSHOT_VERSION})"
+                )
+            }
+            PersistError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            PersistError::TrailingBytes(n) => {
+                write!(f, "snapshot has {n} trailing bytes after the last field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Append-only encoder for the snapshot codec.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as a `u64`.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Writes an `f64` as its exact IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Writes a bool as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_len(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes a sequence length prefix (`u32`).
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds `u32::MAX` — no snapshot in this workspace
+    /// comes within orders of magnitude of that.
+    pub fn put_len(&mut self, n: usize) {
+        // lint:allow(P001): documented panic; real sequences are ≪ u32::MAX
+        let n = u32::try_from(n).expect("snapshot sequence longer than u32::MAX");
+        self.put_u32(n);
+    }
+
+    /// Writes a length-prefixed sequence of [`Persist`] values.
+    pub fn put_seq<T: Persist>(&mut self, items: &[T]) {
+        self.put_len(items.len());
+        for item in items {
+            item.persist(self);
+        }
+    }
+
+    /// Writes an `Option` as a presence byte plus the value.
+    pub fn put_opt<T: Persist>(&mut self, v: &Option<T>) {
+        match v {
+            None => self.put_bool(false),
+            Some(x) => {
+                self.put_bool(true);
+                x.persist(self);
+            }
+        }
+    }
+
+    /// Writes a length-prefixed nested block filled in by `f`, so readers
+    /// can bound (or skip) a sub-payload whose internal layout they do not
+    /// control — e.g. policy-private state.
+    pub fn put_block(&mut self, f: impl FnOnce(&mut Writer)) {
+        let mut inner = Writer::new();
+        f(&mut inner);
+        self.put_len(inner.buf.len());
+        self.buf.extend_from_slice(&inner.buf);
+    }
+}
+
+/// Cursor-based decoder for the snapshot codec.
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `data`, positioned at the start.
+    pub fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Errors unless every byte has been consumed.
+    pub fn finish(&self) -> Result<(), PersistError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(PersistError::TrailingBytes(n)),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        if self.remaining() < n {
+            return Err(PersistError::UnexpectedEof {
+                offset: self.pos,
+                needed: n - self.remaining(),
+            });
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, PersistError> {
+        // lint:allow(P001): take(4) returned exactly 4 bytes; infallible
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, PersistError> {
+        // lint:allow(P001): take(8) returned exactly 8 bytes; infallible
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `usize` encoded as `u64`.
+    pub fn get_usize(&mut self) -> Result<usize, PersistError> {
+        usize::try_from(self.get_u64()?)
+            .map_err(|_| PersistError::Corrupt("usize field exceeds platform width".into()))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a bool; any byte other than 0/1 is corruption.
+    pub fn get_bool(&mut self) -> Result<bool, PersistError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(PersistError::Corrupt(format!("invalid bool byte {b}"))),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, PersistError> {
+        let n = self.get_len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| PersistError::Corrupt("string field is not UTF-8".into()))
+    }
+
+    /// Reads a sequence length prefix, bounded by the remaining input so a
+    /// corrupt count cannot trigger a huge allocation.
+    pub fn get_len(&mut self) -> Result<usize, PersistError> {
+        let n = self.get_u32()? as usize;
+        if n > self.remaining() {
+            return Err(PersistError::Corrupt(format!(
+                "length prefix {n} exceeds remaining {} bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Reads a length-prefixed sequence of [`Persist`] values.
+    pub fn get_seq<T: Persist>(&mut self) -> Result<Vec<T>, PersistError> {
+        let n = self.get_len()?;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            items.push(T::restore(self)?);
+        }
+        Ok(items)
+    }
+
+    /// Reads an `Option` written by [`Writer::put_opt`].
+    pub fn get_opt<T: Persist>(&mut self) -> Result<Option<T>, PersistError> {
+        if self.get_bool()? {
+            Ok(Some(T::restore(self)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Reads a length-prefixed nested block written by
+    /// [`Writer::put_block`], returning a sub-reader confined to it. The
+    /// parent cursor advances past the whole block regardless of how much
+    /// of it the sub-reader consumes.
+    pub fn get_block(&mut self) -> Result<Reader<'a>, PersistError> {
+        let n = self.get_len()?;
+        Ok(Reader::new(self.take(n)?))
+    }
+}
+
+/// Writes the snapshot file preamble: magic bytes plus version.
+pub fn write_header(w: &mut Writer) {
+    w.buf.extend_from_slice(&SNAPSHOT_MAGIC);
+    w.put_u8(SNAPSHOT_VERSION);
+}
+
+/// Validates the snapshot file preamble, returning the version byte.
+pub fn read_header(r: &mut Reader<'_>) -> Result<u8, PersistError> {
+    let magic = r
+        .take(SNAPSHOT_MAGIC.len())
+        .map_err(|_| PersistError::BadMagic)?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = r.get_u8()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    Ok(version)
+}
+
+macro_rules! persist_via {
+    ($t:ty, $put:ident, $get:ident) => {
+        impl Persist for $t {
+            fn persist(&self, w: &mut Writer) {
+                w.$put(*self);
+            }
+            fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+                r.$get()
+            }
+        }
+    };
+}
+
+persist_via!(u8, put_u8, get_u8);
+persist_via!(u32, put_u32, get_u32);
+persist_via!(u64, put_u64, get_u64);
+persist_via!(usize, put_usize, get_usize);
+persist_via!(f64, put_f64, get_f64);
+persist_via!(bool, put_bool, get_bool);
+
+impl Persist for String {
+    fn persist(&self, w: &mut Writer) {
+        w.put_str(self);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        r.get_str()
+    }
+}
+
+impl<T: Persist> Persist for Vec<T> {
+    fn persist(&self, w: &mut Writer) {
+        w.put_seq(self);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        r.get_seq()
+    }
+}
+
+impl<T: Persist> Persist for Option<T> {
+    fn persist(&self, w: &mut Writer) {
+        w.put_opt(self);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        r.get_opt()
+    }
+}
+
+impl<A: Persist, B: Persist> Persist for (A, B) {
+    fn persist(&self, w: &mut Writer) {
+        self.0.persist(w);
+        self.1.persist(w);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok((A::restore(r)?, B::restore(r)?))
+    }
+}
+
+impl Persist for SimTime {
+    fn persist(&self, w: &mut Writer) {
+        w.put_u64(self.as_millis());
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(SimTime::from_millis(r.get_u64()?))
+    }
+}
+
+impl Persist for SimDuration {
+    fn persist(&self, w: &mut Writer) {
+        w.put_u64(self.as_millis());
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(SimDuration::from_millis(r.get_u64()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.put_u8(0xAB);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_bool(true);
+        w.put_str("héllo");
+        SimTime::from_millis(123_456).persist(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 0xAB);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.get_f64().unwrap().is_nan());
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        assert_eq!(
+            SimTime::restore(&mut r).unwrap(),
+            SimTime::from_millis(123_456)
+        );
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn sequences_options_and_blocks_round_trip() {
+        let mut w = Writer::new();
+        w.put_seq(&[1u64, 2, 3]);
+        w.put_opt(&Some(7.5f64));
+        w.put_opt::<u32>(&None);
+        w.put_block(|w| w.put_str("nested"));
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_seq::<u64>().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.get_opt::<f64>().unwrap(), Some(7.5));
+        assert_eq!(r.get_opt::<u32>().unwrap(), None);
+        let mut block = r.get_block().unwrap();
+        assert_eq!(block.get_str().unwrap(), "nested");
+        block.finish().unwrap();
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn header_round_trip_and_rejections() {
+        let mut w = Writer::new();
+        write_header(&mut w);
+        let good = w.into_bytes();
+        assert_eq!(
+            read_header(&mut Reader::new(&good)).unwrap(),
+            SNAPSHOT_VERSION
+        );
+
+        assert_eq!(
+            read_header(&mut Reader::new(b"NOTASNAP\x01")),
+            Err(PersistError::BadMagic)
+        );
+        let mut bumped = good.clone();
+        *bumped.last_mut().unwrap() = SNAPSHOT_VERSION + 1;
+        assert_eq!(
+            read_header(&mut Reader::new(&bumped)),
+            Err(PersistError::UnsupportedVersion(SNAPSHOT_VERSION + 1))
+        );
+        assert_eq!(
+            read_header(&mut Reader::new(b"EAR")),
+            Err(PersistError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_errors() {
+        let mut w = Writer::new();
+        w.put_u64(42);
+        let bytes = w.into_bytes();
+        let mut short = Reader::new(&bytes[..5]);
+        assert_eq!(
+            short.get_u64(),
+            Err(PersistError::UnexpectedEof {
+                offset: 0,
+                needed: 3
+            })
+        );
+        let mut long = Reader::new(&bytes);
+        long.get_u32().unwrap();
+        assert_eq!(long.finish(), Err(PersistError::TrailingBytes(4)));
+    }
+
+    #[test]
+    fn corrupt_length_prefix_is_bounded() {
+        // A length prefix claiming more bytes than remain must fail fast
+        // instead of allocating.
+        let mut w = Writer::new();
+        w.put_u32(1_000_000);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.get_seq::<u64>(), Err(PersistError::Corrupt(_))));
+    }
+
+    #[test]
+    fn invalid_bool_is_corrupt() {
+        let mut r = Reader::new(&[2]);
+        assert!(matches!(r.get_bool(), Err(PersistError::Corrupt(_))));
+    }
+}

@@ -16,6 +16,8 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
 
+use crate::persist::{Persist, PersistError, Reader, Writer};
+
 /// A deterministic, seedable random number generator for simulations.
 ///
 /// Wraps [`SmallRng`] and adds the distribution samplers used by the
@@ -187,6 +189,29 @@ impl SimRng {
     }
 }
 
+/// Canonical state: the full xoshiro256++ state plus the cached Box–Muller
+/// spare, so a restored generator continues the exact stream — including a
+/// pending second normal draw.
+impl Persist for SimRng {
+    fn persist(&self, w: &mut Writer) {
+        for word in self.inner.state() {
+            w.put_u64(word);
+        }
+        w.put_opt(&self.gauss_spare);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.get_u64()?;
+        }
+        Ok(SimRng {
+            inner: SmallRng::from_state(state),
+            gauss_spare: r.get_opt()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +332,27 @@ mod tests {
         assert!((4_000..6_000).contains(&counts[0]), "{counts:?}");
         assert!((9_000..11_000).contains(&counts[1]), "{counts:?}");
         assert!((14_000..16_000).contains(&counts[2]), "{counts:?}");
+    }
+
+    #[test]
+    fn persist_round_trip_continues_stream() {
+        use crate::persist::{Reader, Writer};
+
+        let mut rng = SimRng::seed_from_u64(0xEA2D5);
+        // Burn an odd number of normal draws so a Box–Muller spare is cached.
+        for _ in 0..7 {
+            rng.normal(10.0, 3.0);
+        }
+        let mut w = Writer::new();
+        rng.persist(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let mut restored = SimRng::restore(&mut r).unwrap();
+        r.finish().unwrap();
+        for _ in 0..64 {
+            assert_eq!(rng.normal(10.0, 3.0), restored.normal(10.0, 3.0));
+            assert_eq!(rng.next_u64(), restored.next_u64());
+        }
     }
 
     #[test]

@@ -159,6 +159,27 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl SmallRng {
+        /// The raw xoshiro256++ state, for serialization. Restoring via
+        /// [`SmallRng::from_state`] continues the stream exactly where it
+        /// left off.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured state.
+        ///
+        /// The all-zero state is a fixed point of xoshiro and cannot be
+        /// produced by [`SmallRng::state`] (seeding maps it away); it is
+        /// remapped exactly as `from_seed` does.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return SmallRng { s: [1, 2, 3, 4] };
+            }
+            SmallRng { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         fn next_u32(&mut self) -> u32 {
             (self.next_u64() >> 32) as u32
