@@ -22,6 +22,17 @@ USAGE:
   eards compare  [--policies bf,dbf,sb] [...]      simulate several policies
   eards sweep    [--policy sb] [--lambda-min-grid 10,30,50]
                  [--lambda-max-grid 50,70,90] [...]  λ threshold sweep (parallel)
+  eards sweep    --seeds 1,2,3 [--policies bf,sb] [--chaos-grid 0,1,2]
+                 --sweep-out DIR [--jobs N | --serial] [common flags]
+                 crash-tolerant what-if farm: one supervised worker process
+                 per seed×policy×chaos shard, with per-shard heartbeat
+                 timeouts (--shard-timeout-secs S), retry with exponential
+                 backoff (--max-retries R, --backoff-ms B), checkpoint/resume
+                 (--ckpt-every-hours H), and a deterministic merge: DIR gets
+                 report.csv + report.jsonl, byte-identical to --serial.
+                 --shard-metrics additionally rolls per-shard metrics up
+                 into DIR/metrics.json. Quarantined shards stay in the
+                 report (status=quarantined) and mark it partial.
   eards trace generate [--days D] [--trace-seed S] [--load-factor F] [--out FILE.swf]
   eards trace info <FILE.swf>                      summarize an SWF trace
   eards trace check [--jsonl F] [--chrome F] [--metrics F]
@@ -73,7 +84,14 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "run" => run_cmd(rest),
         "resume" => resume_cmd(rest),
         "compare" => compare_cmd(rest),
-        "sweep" => sweep_cmd(rest),
+        "sweep" => {
+            if crate::farm::farm_requested(rest) {
+                crate::farm::farm_cmd(rest)
+            } else {
+                sweep_cmd(rest)
+            }
+        }
+        "sweep-worker" => crate::farm::worker_cmd(rest),
         "trace" => trace_cmd(rest),
         "lint" => crate::lint::lint_cmd(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
@@ -215,9 +233,9 @@ fn run_cmd(tokens: &[String]) -> Result<String, CliError> {
             while runner.step_batch() {
                 if runner.now().as_millis() >= next.as_millis() {
                     let path = format!("{dir}/ckpt_t{}.bin", runner.now().as_millis());
-                    std::fs::write(
-                        &path,
-                        crate::checkpoint::encode_checkpoint(&provenance, &runner),
+                    eards_sim::write_atomic(
+                        std::path::Path::new(&path),
+                        &crate::checkpoint::encode_checkpoint(&provenance, &runner),
                     )?;
                     written += 1;
                     while runner.now().as_millis() >= next.as_millis() {
@@ -249,7 +267,7 @@ fn resume_cmd(tokens: &[String]) -> Result<String, CliError> {
     };
     let data = std::fs::read(path)?;
     let (argv, snap) = crate::checkpoint::decode_checkpoint(&data)
-        .map_err(|e| CliError::Usage(format!("{path}: {e}")))?;
+        .map_err(|e| CliError::Snapshot(format!("{path}: {e}")))?;
     let args = parse_common(&argv)?;
     let policy_name = args.value("policy").unwrap_or("sb").to_string();
     let hosts = build_hosts(&args)?;
@@ -258,7 +276,7 @@ fn resume_cmd(tokens: &[String]) -> Result<String, CliError> {
     let obs = cfg.obs.clone();
     let policy = make_policy(&policy_name, cfg.seed, &obs)?;
     let mut runner = Runner::restore(hosts, trace, policy, cfg, snap)
-        .map_err(|e| CliError::Usage(format!("{path}: {e}")))?;
+        .map_err(|e| CliError::Snapshot(format!("{path}: {e}")))?;
     while runner.step_batch() {}
     let (report, _) = runner.finish();
     let mut out = report_output(&args, std::slice::from_ref(&report))?;

@@ -16,6 +16,7 @@
 pub mod args;
 pub mod checkpoint;
 pub mod commands;
+pub mod farm;
 pub mod lint;
 pub mod setup;
 

@@ -10,6 +10,12 @@ fn main() {
             print!("{report}");
             std::process::exit(1);
         }
+        Err(eards_cli::CliError::Snapshot(msg)) => {
+            // Corrupt/unreadable checkpoint: exit 3 (vs. 2 for invocation
+            // errors) so a supervisor can discard the file and start over.
+            eprintln!("error: {msg}");
+            std::process::exit(3);
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(2);

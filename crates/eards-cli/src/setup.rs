@@ -24,6 +24,11 @@ pub enum CliError {
     /// `error:` prefix) and exits 1 rather than 2, so CI logs show the
     /// findings and scripts can tell "new findings" from "bad invocation".
     Lint(String),
+    /// A snapshot/checkpoint file failed to decode or validate (corrupt,
+    /// truncated, or from a different world). Exits 3 so supervisors and
+    /// scripts can distinguish "bad checkpoint" from "bad invocation" (2)
+    /// and react (e.g. discard the checkpoint and start fresh).
+    Snapshot(String),
 }
 
 impl From<ArgError> for CliError {
@@ -45,6 +50,7 @@ impl std::fmt::Display for CliError {
             CliError::Usage(s) => write!(f, "{s}"),
             CliError::Io(e) => write!(f, "{e}"),
             CliError::Lint(report) => write!(f, "{report}"),
+            CliError::Snapshot(s) => write!(f, "{s}"),
         }
     }
 }

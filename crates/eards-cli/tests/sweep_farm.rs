@@ -1,0 +1,197 @@
+//! End-to-end sweep-farm tests against the real `eards` binary: the
+//! supervised multi-process farm must survive an injected SIGKILL
+//! mid-shard (retrying from the last checkpoint) and still produce a
+//! merged report **byte-identical** to a serial in-process run; hung
+//! workers must be quarantined, not dropped; and a corrupt checkpoint
+//! handed to `eards resume` must exit with the dedicated code 3.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_eards");
+
+fn eards(args: &str) -> Output {
+    Command::new(BIN)
+        .args(args.split_whitespace())
+        .output()
+        .expect("spawn eards")
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("eards-sweepfarm-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// The acceptance scenario: a 4-shard grid run with `--jobs 2` while the
+/// supervisor SIGKILLs one shard's first attempt mid-run. The retry
+/// resumes from the shard's last checkpoint, and the merged report is
+/// byte-identical to a serial run of the same grid — completion order,
+/// the kill, and the resume leave no trace in the output bytes.
+#[test]
+fn injected_sigkill_retries_from_checkpoint_and_merge_is_bit_identical() {
+    let serial_dir = tmpdir("serial");
+    let farm_dir = tmpdir("farm");
+    let world = "--hosts 6 --hours 6 --trace-seed 3 --seeds 3,4 --policies sb --chaos-grid 0,1";
+
+    let serial = eards(&format!(
+        "sweep {world} --serial --sweep-out {}",
+        serial_dir.display()
+    ));
+    assert!(
+        serial.status.success(),
+        "serial sweep failed: {}",
+        String::from_utf8_lossy(&serial.stderr)
+    );
+
+    let farm = eards(&format!(
+        "sweep {world} --jobs 2 --sweep-out {} --ckpt-every-hours 1 \
+         --inject-kill s3-sb-x1 --kill-after-hours 2 --dawdle-ms 5 \
+         --shard-timeout-secs 120 --max-retries 2",
+        farm_dir.display()
+    ));
+    let stdout = String::from_utf8_lossy(&farm.stdout);
+    let stderr = String::from_utf8_lossy(&farm.stderr);
+    assert!(
+        farm.status.success(),
+        "farm sweep failed:\n{stdout}\n{stderr}"
+    );
+
+    // The kill actually happened and the shard came back.
+    assert!(
+        stderr.contains("injecting SIGKILL"),
+        "expected the injected kill in supervision events:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("retried: 1 shard(s)"),
+        "expected exactly one retried shard:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("resumed: 1 shard(s)"),
+        "expected the retry to resume from a checkpoint:\n{stdout}"
+    );
+    assert!(stdout.contains("ok: 4, quarantined: 0"), "{stdout}");
+
+    // The headline guarantee: merged bytes identical to the serial run.
+    assert_eq!(
+        read(&serial_dir.join("report.csv")),
+        read(&farm_dir.join("report.csv")),
+        "parallel report.csv diverged from serial"
+    );
+    assert_eq!(
+        read(&serial_dir.join("report.jsonl")),
+        read(&farm_dir.join("report.jsonl")),
+        "parallel report.jsonl diverged from serial"
+    );
+
+    let _ = std::fs::remove_dir_all(&serial_dir);
+    let _ = std::fs::remove_dir_all(&farm_dir);
+}
+
+/// A worker that stops heartbeating is killed on the shard timeout and,
+/// with the retry budget exhausted, quarantined: it still appears in the
+/// merged report (status=quarantined) and flips the partial flag. The
+/// healthy shard of the grid is unaffected.
+#[test]
+fn hung_worker_is_quarantined_and_report_is_partial() {
+    let dir = tmpdir("hang");
+    let out = eards(&format!(
+        "sweep --hosts 4 --hours 3 --seeds 5,6 --policies sb --jobs 2 \
+         --sweep-out {} --inject-hang s5-sb-x0 --hang-after-hours 1 \
+         --shard-timeout-secs 1 --max-retries 0",
+        dir.display()
+    ));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stdout}\n{stderr}");
+    assert!(stdout.contains("QUARANTINED"), "{stdout}");
+    assert!(stdout.contains("report is PARTIAL"), "{stdout}");
+    assert!(stderr.contains("no heartbeat"), "{stderr}");
+
+    let csv = read(&dir.join("report.csv"));
+    assert_eq!(csv.lines().count(), 3, "both shards present:\n{csv}");
+    assert!(csv.contains("s5-sb-x0,5,sb,0,quarantined,"), "{csv}");
+    assert!(csv.contains("s6-sb-x0,6,sb,0,ok,"), "{csv}");
+    let jsonl = read(&dir.join("report.jsonl"));
+    assert!(
+        jsonl.starts_with(
+            "{\"kind\":\"sweep_report\",\"shards\":2,\"ok\":1,\"quarantined\":1,\"partial\":true}"
+        ),
+        "{jsonl}"
+    );
+    assert!(jsonl.contains("\"status\":\"quarantined\""), "{jsonl}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--shard-metrics` produces a merged metrics.json that passes the
+/// exporter's own schema check.
+#[test]
+fn shard_metrics_roll_up_across_the_farm() {
+    let dir = tmpdir("metrics");
+    let out = eards(&format!(
+        "sweep --hosts 4 --hours 2 --seeds 7,8 --policies sb --jobs 2 \
+         --shard-metrics --sweep-out {}",
+        dir.display()
+    ));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let merged = dir.join("metrics.json");
+    assert!(merged.is_file(), "rollup written");
+    let check = eards(&format!("trace check --metrics {}", merged.display()));
+    assert!(
+        check.status.success(),
+        "merged metrics failed the schema check: {}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Corrupt checkpoint files get the dedicated exit code 3 (not the
+/// generic invocation-error 2) and a one-line error, whether the file is
+/// garbage from byte zero or a truncated real checkpoint.
+#[test]
+fn corrupt_checkpoint_resume_exits_3() {
+    let dir = tmpdir("corrupt");
+
+    let garbage = dir.join("garbage.bin");
+    std::fs::write(&garbage, b"EARDSNAP\x7fnot really").unwrap();
+    let out = eards(&format!("resume {}", garbage.display()));
+    assert_eq!(out.status.code(), Some(3), "garbage file");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(err.lines().count(), 1, "one-line error, got:\n{err}");
+    assert!(err.starts_with("error: "), "{err}");
+
+    // A real checkpoint, truncated: same contract.
+    let ckdir = dir.join("ckpts");
+    let run = eards(&format!(
+        "run --hosts 4 --hours 3 --checkpoint-every 1 --checkpoint-out {}",
+        ckdir.display()
+    ));
+    assert!(run.status.success());
+    let ckpt = std::fs::read_dir(&ckdir)
+        .unwrap()
+        .next()
+        .unwrap()
+        .unwrap()
+        .path();
+    let bytes = std::fs::read(&ckpt).unwrap();
+    let truncated = dir.join("truncated.bin");
+    std::fs::write(&truncated, &bytes[..bytes.len() / 2]).unwrap();
+    let out = eards(&format!("resume {}", truncated.display()));
+    assert_eq!(out.status.code(), Some(3), "truncated checkpoint");
+
+    // Invocation errors keep exit 2 — the codes stay distinguishable.
+    let out = eards("resume");
+    assert_eq!(out.status.code(), Some(2), "missing operand");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -31,5 +31,5 @@ pub use audit::{render_log, AuditEvent, AuditKind};
 pub use config::{paper_datacenter, small_datacenter, AdaptiveLambda, AuditorMode, RunConfig};
 pub use faults::FaultEngine;
 pub use invariants::InvariantAuditor;
-pub use runner::Runner;
+pub use runner::{RunProgress, Runner};
 pub use sweep::{lambda_grid, run_sweep, SweepPoint};

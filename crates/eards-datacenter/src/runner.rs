@@ -194,6 +194,19 @@ impl Persist for Event {
     }
 }
 
+/// Snapshot of a run's progress, as reported by [`Runner::progress`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunProgress {
+    /// Current simulated time (instant of the last processed batch).
+    pub now: SimTime,
+    /// The drain horizon the run cannot pass.
+    pub horizon: SimTime,
+    /// Jobs fully completed so far.
+    pub jobs_done: usize,
+    /// Jobs in the trace.
+    pub jobs_total: usize,
+}
+
 /// One configured simulation run.
 pub struct Runner {
     cluster: Cluster,
@@ -386,6 +399,18 @@ impl Runner {
     /// Current simulated time (the instant of the last processed batch).
     pub fn now(&self) -> SimTime {
         self.sim.now()
+    }
+
+    /// Progress of the run so far — a cheap read a driver can poll
+    /// between batches (e.g. a sweep worker heartbeating its
+    /// supervisor).
+    pub fn progress(&self) -> RunProgress {
+        RunProgress {
+            now: self.sim.now(),
+            horizon: self.hard_cap(),
+            jobs_done: self.jobs_done,
+            jobs_total: self.jobs.len(),
+        }
     }
 
     /// The simulation horizon: the run drains for at most

@@ -34,8 +34,10 @@ pub const SIM_AFFECTING: &[&str] = &[
 
 /// Crates allowed to read wall clocks (rule D002's allowlist): the
 /// observability layer timestamps real spans, the bench harness measures
-/// real wall time. Neither feeds results back into simulation state.
-pub const CLOCK_ALLOWED: &[&str] = &["eards-obs", "eards-bench"];
+/// real wall time, and the sweep supervisor uses wall time for worker
+/// heartbeat timeouts and retry backoff. None feed results back into
+/// simulation state.
+pub const CLOCK_ALLOWED: &[&str] = &["eards-obs", "eards-bench", "eards-sweep"];
 
 /// One `lint:allow` marker, parsed from a comment.
 #[derive(Debug, Clone)]

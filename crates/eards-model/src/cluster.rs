@@ -703,13 +703,22 @@ impl Cluster {
                 if seen_resident.insert(vm, id).is_some() {
                     return Err(format!("{vm} resident on two hosts"));
                 }
-                if self.vms[&vm].host != Some(id) {
-                    return Err(format!("{vm} host field disagrees with {id} residency"));
+                // `.get`, not indexing: `verify` also gates snapshot
+                // restore, where corrupt bytes can produce residency
+                // lists naming VMs absent from the table — that must be
+                // a reported violation, not a panic.
+                match self.vms.get(&vm) {
+                    None => return Err(format!("{vm} resident on {id} but not in the VM table")),
+                    Some(v) if v.host != Some(id) => {
+                        return Err(format!("{vm} host field disagrees with {id} residency"))
+                    }
+                    Some(_) => {}
                 }
             }
             for &vm in &h.incoming {
-                match self.vms[&vm].state {
-                    VmState::Migrating { to } if to == id => {}
+                match self.vms.get(&vm).map(|v| v.state) {
+                    Some(VmState::Migrating { to }) if to == id => {}
+                    None => return Err(format!("incoming {vm} on {id} not in the VM table")),
                     s => {
                         return Err(format!(
                             "incoming {vm} on {id} not migrating there (state {s:?})"
@@ -741,7 +750,9 @@ impl Cluster {
             }
         }
         for &vm in &self.queue {
-            let v = &self.vms[&vm];
+            let Some(v) = self.vms.get(&vm) else {
+                return Err(format!("queued {vm} not in the VM table"));
+            };
             if v.state != VmState::Queued {
                 return Err(format!("{vm} in queue but in state {:?}", v.state));
             }

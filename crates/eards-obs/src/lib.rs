@@ -35,6 +35,7 @@ mod event;
 mod export;
 mod registry;
 mod ring;
+pub mod rollup;
 pub mod validate;
 
 pub use event::{FaultKind, ObsEvent, PowerFlipKind, RecoveryKind};

@@ -54,7 +54,7 @@ mod wheel;
 
 pub use engine::{run, Simulator};
 pub use persist::{
-    read_header, write_header, Persist, PersistError, Reader, Writer, SNAPSHOT_MAGIC,
+    read_header, write_atomic, write_header, Persist, PersistError, Reader, Writer, SNAPSHOT_MAGIC,
     SNAPSHOT_VERSION,
 };
 pub use queue::{EventHandle, EventQueue};

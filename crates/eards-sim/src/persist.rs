@@ -345,6 +345,35 @@ pub fn read_header(r: &mut Reader<'_>) -> Result<u8, PersistError> {
     Ok(version)
 }
 
+/// Writes `bytes` to `path` atomically: the data goes to `<path>.tmp`
+/// first, is fsynced, and is then renamed over the target. A reader (or
+/// a resume after a crash) therefore sees either the complete previous
+/// file or the complete new one — never a torn write. The checkpoint
+/// and sweep layers rely on this: a worker SIGKILLed mid-checkpoint must
+/// not leave a half-written file that a retry would try to restore.
+pub fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = match path.file_name() {
+        Some(name) => {
+            let mut n = name.to_os_string();
+            n.push(".tmp");
+            path.with_file_name(n)
+        }
+        None => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("write_atomic: {} has no file name", path.display()),
+            ))
+        }
+    };
+    {
+        use std::io::Write;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
 macro_rules! persist_via {
     ($t:ty, $put:ident, $get:ident) => {
         impl Persist for $t {

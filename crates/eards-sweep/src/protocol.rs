@@ -1,0 +1,126 @@
+//! The worker → supervisor line protocol.
+//!
+//! A worker process reports over its **stdout**, one message per line,
+//! each prefixed `SWEEP ` so interleaved diagnostic prints can never be
+//! mistaken for protocol traffic. Every line doubles as a heartbeat: the
+//! supervisor keeps a last-seen wall clock per worker and declares a
+//! worker hung when no line (of any kind) arrives within the shard
+//! timeout.
+//!
+//! ```text
+//! SWEEP start <shard-key>
+//! SWEEP progress <sim-ms>
+//! SWEEP ckpt <path>
+//! SWEEP warn <free text>
+//! SWEEP result <path>
+//! ```
+//!
+//! `result` is terminal: the worker writes its result file (atomically),
+//! prints the line, and exits 0. A worker that exits without a `result`
+//! line — crash, SIGKILL, nonzero exit — failed its attempt.
+
+/// One parsed protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerMsg {
+    /// The worker came up and begins (or resumes) its shard.
+    Start {
+        /// Shard key echoed back by the worker.
+        key: String,
+    },
+    /// Simulation progress heartbeat (simulated milliseconds).
+    Progress {
+        /// Current simulation clock, in milliseconds.
+        sim_ms: u64,
+    },
+    /// A checkpoint was written (atomically) to `path`.
+    Checkpoint {
+        /// Path of the checkpoint file.
+        path: String,
+    },
+    /// A non-fatal anomaly (e.g. a corrupt resume checkpoint that forced
+    /// a fresh start).
+    Warn {
+        /// Human-readable description.
+        msg: String,
+    },
+    /// The shard result file was written to `path`; the worker exits 0.
+    Result {
+        /// Path of the result file.
+        path: String,
+    },
+}
+
+/// Prefix opening every protocol line.
+pub const PREFIX: &str = "SWEEP ";
+
+/// Encodes a message as one protocol line (no trailing newline).
+pub fn encode(msg: &WorkerMsg) -> String {
+    match msg {
+        WorkerMsg::Start { key } => format!("{PREFIX}start {key}"),
+        WorkerMsg::Progress { sim_ms } => format!("{PREFIX}progress {sim_ms}"),
+        WorkerMsg::Checkpoint { path } => format!("{PREFIX}ckpt {path}"),
+        WorkerMsg::Warn { msg } => format!("{PREFIX}warn {msg}"),
+        WorkerMsg::Result { path } => format!("{PREFIX}result {path}"),
+    }
+}
+
+/// Parses one line. Returns `None` for non-protocol lines (which still
+/// count as heartbeats) and for malformed protocol lines (a truncated
+/// write from a dying worker must not wedge the supervisor).
+pub fn parse_line(line: &str) -> Option<WorkerMsg> {
+    let rest = line.strip_prefix(PREFIX)?;
+    let (verb, arg) = match rest.split_once(' ') {
+        Some((v, a)) => (v, a),
+        None => (rest, ""),
+    };
+    match verb {
+        "start" if !arg.is_empty() => Some(WorkerMsg::Start { key: arg.into() }),
+        "progress" => arg
+            .parse()
+            .ok()
+            .map(|sim_ms| WorkerMsg::Progress { sim_ms }),
+        "ckpt" if !arg.is_empty() => Some(WorkerMsg::Checkpoint { path: arg.into() }),
+        "warn" => Some(WorkerMsg::Warn { msg: arg.into() }),
+        "result" if !arg.is_empty() => Some(WorkerMsg::Result { path: arg.into() }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let msgs = [
+            WorkerMsg::Start {
+                key: "s7-sb-x1".into(),
+            },
+            WorkerMsg::Progress { sim_ms: 3_600_000 },
+            WorkerMsg::Checkpoint {
+                path: "/tmp/x/ckpt.bin".into(),
+            },
+            WorkerMsg::Warn {
+                msg: "corrupt checkpoint; starting fresh".into(),
+            },
+            WorkerMsg::Result {
+                path: "/tmp/x/result.txt".into(),
+            },
+        ];
+        for m in msgs {
+            assert_eq!(parse_line(&encode(&m)), Some(m));
+        }
+    }
+
+    #[test]
+    fn garbage_and_partial_lines_are_ignored() {
+        assert_eq!(parse_line("hello world"), None);
+        assert_eq!(parse_line("SWEEP"), None);
+        assert_eq!(parse_line("SWEEP progress"), None);
+        assert_eq!(parse_line("SWEEP progress abc"), None);
+        assert_eq!(parse_line("SWEEP result"), None);
+        assert_eq!(parse_line("SWEEP frobnicate 3"), None);
+        // A truncated prefix is a plain non-protocol line.
+        assert_eq!(parse_line("SWE"), None);
+    }
+}
