@@ -14,6 +14,7 @@
 //! | [`exp_table5`] | Table V — consolidation-cost sweep |
 //! | [`exp_ablation_reliability`] | extension: failures, checkpointing, `P_fault` |
 //! | [`exp_chaos`] | chaos engine: full fault plan at escalating intensities |
+//! | [`exp_degrade`] | engine: work-budget boundedness + ladder quality loss |
 //! | [`exp_ablation_sla`] | extension: overload + dynamic SLA enforcement |
 //! | [`exp_ablation_adaptive`] | extension: dynamic λ thresholds (future work of §V-A) |
 //! | [`exp_solver_timing`] | engine: incremental score matrix vs full-rescan reference |
@@ -31,6 +32,7 @@ pub mod exp_ablation_powermodel;
 pub mod exp_ablation_reliability;
 pub mod exp_ablation_sla;
 pub mod exp_chaos;
+pub mod exp_degrade;
 pub mod exp_economics;
 pub mod exp_fig1;
 pub mod exp_fig23;

@@ -8,8 +8,8 @@ use eards_workload::{analyze, generate, parse_swf, write_swf, SwfOptions, SynthC
 
 use crate::args::{ArgSpec, Args};
 use crate::setup::{
-    build_hosts, build_run_config, build_trace, make_policy, obs_requested, CliError,
-    COMMON_SWITCHES, COMMON_VALUED, OBS_FLAGS,
+    build_hosts, build_run_config, build_trace, make_policy, obs_requested, overload_from,
+    CliError, COMMON_SWITCHES, COMMON_VALUED, OBS_FLAGS,
 };
 
 /// Usage text.
@@ -58,6 +58,12 @@ COMMON FLAGS:
                               (eards run only; needs --checkpoint-out)
   --checkpoint-out DIR        directory receiving ckpt_t<ms>.bin snapshot files,
                               resumable with `eards resume`
+  --solver-budget W           per-round solver work budget (deterministic work units:
+                              cell rescores + argmin scans). Arms the anytime solver
+                              and the L0–L3 degradation ladder on score policies;
+                              absent = unlimited, bit-identical to before
+  --degrade                   runner backpressure under overload: cap retry backoff
+                              growth and park flapping VMs until blacklists clear
   --seed S                    simulation seed (operation jitter, failures)
   --economics                 additionally print revenue/energy-cost/profit
   --power-series FILE.csv     write the datacenter power trace
@@ -202,7 +208,7 @@ fn run_cmd(tokens: &[String]) -> Result<String, CliError> {
     let trace = build_trace(&args)?;
     let cfg = build_run_config(&args)?;
     let obs = cfg.obs.clone();
-    let policy = make_policy(&policy_name, cfg.seed, &obs)?;
+    let policy = make_policy(&policy_name, cfg.seed, &obs, overload_from(&cfg))?;
     let runner = Runner::new(hosts, trace, policy, cfg);
     let mut ckpt_note = String::new();
     let report = match args.get_opt::<u64>("checkpoint-every")? {
@@ -274,7 +280,7 @@ fn resume_cmd(tokens: &[String]) -> Result<String, CliError> {
     let trace = build_trace(&args)?;
     let cfg = build_run_config(&args)?;
     let obs = cfg.obs.clone();
-    let policy = make_policy(&policy_name, cfg.seed, &obs)?;
+    let policy = make_policy(&policy_name, cfg.seed, &obs, overload_from(&cfg))?;
     let mut runner = Runner::restore(hosts, trace, policy, cfg, snap)
         .map_err(|e| CliError::Snapshot(format!("{path}: {e}")))?;
     while runner.step_batch() {}
@@ -299,7 +305,7 @@ fn compare_cmd(tokens: &[String]) -> Result<String, CliError> {
     let cfg = build_run_config(&args)?;
     let mut reports = Vec::new();
     for name in &names {
-        let policy = make_policy(name, cfg.seed, &cfg.obs)?;
+        let policy = make_policy(name, cfg.seed, &cfg.obs, overload_from(&cfg))?;
         let report = Runner::new(hosts.clone(), trace.clone(), policy, cfg.clone()).run();
         reports.push(report);
     }
@@ -335,11 +341,12 @@ fn sweep_cmd(tokens: &[String]) -> Result<String, CliError> {
         ));
     }
     let seed = base.seed;
+    let ctl = overload_from(&base);
     let labels: Vec<String> = points.iter().map(|p| p.label.clone()).collect();
     let reports = run_sweep(
         &hosts,
         &trace,
-        || make_policy(&policy_name, seed, &Obs::disabled()).expect("validated above"),
+        || make_policy(&policy_name, seed, &Obs::disabled(), ctl).expect("validated above"),
         points,
     );
     let mut t = Table::new(["setting", "Pwr (kWh)", "S (%)", "delay (%)", "Mig"]);

@@ -28,8 +28,8 @@ use eards_sweep::{
 
 use crate::args::{ArgSpec, Args};
 use crate::setup::{
-    build_hosts, build_run_config, build_trace, make_policy, obs_requested, CliError,
-    COMMON_SWITCHES, COMMON_VALUED, OBS_CAPACITY, OBS_FLAGS,
+    build_hosts, build_run_config, build_trace, make_policy, obs_requested, overload_from,
+    CliError, COMMON_SWITCHES, COMMON_VALUED, OBS_CAPACITY, OBS_FLAGS,
 };
 
 /// Farm-only valued flags. Flags in [`FORWARDED_VALUED`] are passed on
@@ -153,7 +153,7 @@ fn build_grid(args: &Args) -> Result<SweepGrid, CliError> {
             names = vec![args.value("policy").unwrap_or("sb").to_string()];
         }
         for name in &names {
-            make_policy(name, 0, &Obs::disabled())?;
+            make_policy(name, 0, &Obs::disabled(), None)?;
         }
         names
     };
@@ -195,7 +195,7 @@ fn shard_runner(args: &Args, spec: &ShardSpec, obs: &Obs) -> Result<Runner, CliE
         cfg = cfg.with_faults(FaultPlan::chaos(spec.chaos));
     }
     cfg = cfg.with_obs(obs.clone());
-    let policy = make_policy(&spec.policy, cfg.seed, &cfg.obs)?;
+    let policy = make_policy(&spec.policy, cfg.seed, &cfg.obs, overload_from(&cfg))?;
     Ok(Runner::new(hosts, trace, policy, cfg))
 }
 
@@ -428,8 +428,8 @@ pub fn worker_cmd(tokens: &[String]) -> Result<String, CliError> {
                     cfg = cfg.with_faults(FaultPlan::chaos(spec.chaos));
                 }
                 cfg = cfg.with_obs(obs.clone());
-                let policy =
-                    make_policy(&spec.policy, cfg.seed, &cfg.obs).map_err(|e| e.to_string())?;
+                let policy = make_policy(&spec.policy, cfg.seed, &cfg.obs, overload_from(&cfg))
+                    .map_err(|e| e.to_string())?;
                 Runner::restore(hosts, trace, policy, cfg, &bytes).map_err(|e| e.to_string())
             });
         match restored {

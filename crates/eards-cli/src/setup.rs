@@ -1,7 +1,7 @@
 //! Shared CLI flag handling: building the datacenter, workload and run
 //! configuration from common flags.
 
-use eards_core::{ScoreConfig, ScoreScheduler};
+use eards_core::{OverloadControl, ScoreConfig, ScoreScheduler};
 use eards_datacenter::{paper_datacenter, small_datacenter, AdaptiveLambda, RunConfig};
 use eards_model::{FaultPlan, HostClass, HostSpec, Policy};
 use eards_obs::Obs;
@@ -82,6 +82,7 @@ pub const COMMON_VALUED: &[&str] = &[
     "metrics-out",
     "checkpoint-every",
     "checkpoint-out",
+    "solver-budget",
 ];
 
 /// The observability export flags (valued; `run` only).
@@ -97,22 +98,43 @@ pub fn obs_requested(args: &Args) -> bool {
 }
 
 /// The boolean switches shared by the simulation commands.
-pub const COMMON_SWITCHES: &[&str] = &["paper-dc", "failures", "economics", "csv"];
+pub const COMMON_SWITCHES: &[&str] = &["paper-dc", "failures", "economics", "csv", "degrade"];
+
+/// The overload control the score-based policies should run under, as
+/// configured by `--solver-budget` (`None` = unlimited, bit-identical to
+/// a build without the overload layer).
+pub fn overload_from(cfg: &RunConfig) -> Option<OverloadControl> {
+    cfg.solver_budget.map(OverloadControl::with_budget)
+}
 
 /// Builds a policy by CLI name. Score-based policies are handed a clone
 /// of `obs` so solver spans and score attributions land in the same trace
-/// as the runner's events (a disabled handle keeps every hook a no-op).
-pub fn make_policy(name: &str, seed: u64, obs: &Obs) -> Result<Box<dyn Policy>, CliError> {
+/// as the runner's events (a disabled handle keeps every hook a no-op),
+/// and `ctl` arms their work budget + degradation ladder (`None` leaves
+/// the solver unbounded; non-score policies ignore it).
+pub fn make_policy(
+    name: &str,
+    seed: u64,
+    obs: &Obs,
+    ctl: Option<OverloadControl>,
+) -> Result<Box<dyn Policy>, CliError> {
+    let score = |cfg: ScoreConfig| -> Box<dyn Policy> {
+        let sched = ScoreScheduler::with_obs(cfg, obs.clone());
+        Box::new(match ctl {
+            Some(c) => sched.with_overload(c),
+            None => sched,
+        })
+    };
     Ok(match name.to_ascii_lowercase().as_str() {
         "rd" | "random" => Box::new(RandomPolicy::new(seed)),
         "rr" | "round-robin" => Box::new(RoundRobinPolicy::new()),
         "bf" | "backfilling" => Box::new(BackfillingPolicy::new()),
         "dbf" => Box::new(DynamicBackfillingPolicy::new()),
-        "sb0" => Box::new(ScoreScheduler::with_obs(ScoreConfig::sb0(), obs.clone())),
-        "sb1" => Box::new(ScoreScheduler::with_obs(ScoreConfig::sb1(), obs.clone())),
-        "sb2" => Box::new(ScoreScheduler::with_obs(ScoreConfig::sb2(), obs.clone())),
-        "sb" => Box::new(ScoreScheduler::with_obs(ScoreConfig::sb(), obs.clone())),
-        "sb-ext" | "full" => Box::new(ScoreScheduler::with_obs(ScoreConfig::full(), obs.clone())),
+        "sb0" => score(ScoreConfig::sb0()),
+        "sb1" => score(ScoreConfig::sb1()),
+        "sb2" => score(ScoreConfig::sb2()),
+        "sb" => score(ScoreConfig::sb()),
+        "sb-ext" | "full" => score(ScoreConfig::full()),
         other => {
             return Err(CliError::Usage(format!(
                 "unknown policy {other:?} (rd, rr, bf, dbf, sb0, sb1, sb2, sb, sb-ext)"
@@ -191,6 +213,17 @@ pub fn build_run_config(args: &Args) -> Result<RunConfig, CliError> {
         });
     }
     cfg.record_power_series = args.value("power-series").is_some();
+    if let Some(b) = args.get_opt::<u64>("solver-budget")? {
+        if b == 0 {
+            return Err(CliError::Usage(
+                "--solver-budget must be a positive work-unit count".into(),
+            ));
+        }
+        cfg.solver_budget = Some(b);
+    }
+    if args.switch("degrade") {
+        cfg.degrade = true;
+    }
     if obs_requested(args) {
         cfg = cfg.with_obs(Obs::enabled(OBS_CAPACITY));
     }
@@ -257,14 +290,36 @@ mod tests {
         assert!(build_run_config(&parse("--lambda-min 90 --lambda-max 30")).is_err());
         assert!(build_hosts(&parse("--hosts 0")).is_err());
         assert!(build_trace(&parse("--load-factor -1")).is_err());
-        assert!(make_policy("quantum", 0, &Obs::disabled()).is_err());
+        assert!(make_policy("quantum", 0, &Obs::disabled(), None).is_err());
     }
 
     #[test]
     fn all_policies_constructible() {
         for p in ["rd", "rr", "bf", "dbf", "sb0", "sb1", "sb2", "sb", "sb-ext"] {
-            assert!(make_policy(p, 1, &Obs::disabled()).is_ok(), "{p}");
+            assert!(make_policy(p, 1, &Obs::disabled(), None).is_ok(), "{p}");
+            let ctl = Some(OverloadControl::with_budget(10_000));
+            assert!(
+                make_policy(p, 1, &Obs::disabled(), ctl).is_ok(),
+                "{p} armed"
+            );
         }
+    }
+
+    #[test]
+    fn overload_flags() {
+        let cfg = build_run_config(&parse("")).unwrap();
+        assert_eq!(cfg.solver_budget, None);
+        assert!(!cfg.degrade);
+        assert!(overload_from(&cfg).is_none());
+
+        let cfg = build_run_config(&parse("--solver-budget 50000 --degrade")).unwrap();
+        assert_eq!(cfg.solver_budget, Some(50_000));
+        assert!(cfg.degrade);
+        let ctl = overload_from(&cfg).unwrap();
+        assert_eq!(ctl.budget, 50_000);
+        assert!(ctl.ladder);
+
+        assert!(build_run_config(&parse("--solver-budget 0")).is_err());
     }
 
     #[test]

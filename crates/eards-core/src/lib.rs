@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 mod config;
 mod eval;
 mod explain;
@@ -36,6 +37,7 @@ mod scheduler;
 mod score;
 mod solver;
 
+pub use budget::{DegradeLevel, OverloadControl, WorkMeter};
 pub use config::ScoreConfig;
 pub use eval::{CellStatic, Eval, ScoreBreakdown};
 pub use explain::{
@@ -44,4 +46,4 @@ pub use explain::{
 pub use matrix::{EngineBuffers, ScoreMatrix};
 pub use scheduler::{row_score, ScoreScheduler};
 pub use score::Score;
-pub use solver::{solve, solve_matrix, solve_reference, Move, Solution};
+pub use solver::{solve, solve_matrix, solve_matrix_at, solve_reference, Move, Solution};

@@ -52,6 +52,7 @@
 
 use eards_model::{Resources, VmId};
 
+use crate::budget::WorkMeter;
 use crate::eval::{CellStatic, Eval};
 use crate::score::Score;
 
@@ -121,6 +122,12 @@ pub struct ScoreMatrix<'e, 'a> {
     /// counting the initial lazy fill — the incremental engine's key
     /// efficiency figure, surfaced through the observability layer.
     rescored: u64,
+    /// Deterministic work accounting (cells rescored + argmin scans).
+    /// Unlimited by default; [`Self::set_work_budget`] arms it. Purely
+    /// additive `u64` counting — it never alters scores or tie-breaks,
+    /// so an unexhausted budgeted run is bit-identical to an unbudgeted
+    /// one.
+    meter: WorkMeter,
 }
 
 impl<'e, 'a> ScoreMatrix<'e, 'a> {
@@ -171,7 +178,26 @@ impl<'e, 'a> ScoreMatrix<'e, 'a> {
             pending_flag,
             col_best,
             rescored: 0,
+            meter: WorkMeter::unlimited(),
         }
+    }
+
+    /// Arms the work meter with a finite per-round budget (in work
+    /// units; see [`WorkMeter`]). Call before the first read — charges
+    /// only accumulate from this point.
+    pub fn set_work_budget(&mut self, budget: u64) {
+        self.meter = WorkMeter::with_budget(budget);
+    }
+
+    /// Work units spent so far this round.
+    pub fn work_spent(&self) -> u64 {
+        self.meter.spent()
+    }
+
+    /// Whether the armed work budget has been exhausted (always `false`
+    /// without [`Self::set_work_budget`]).
+    pub fn work_exhausted(&self) -> bool {
+        self.meter.exhausted()
     }
 
     /// Hands the matrix's allocations back for reuse in a later round.
@@ -224,6 +250,7 @@ impl<'e, 'a> ScoreMatrix<'e, 'a> {
         }
         self.row_stale[r] = false;
         self.rescored += 1;
+        self.meter.charge(self.n as u64);
     }
 
     /// Rows rescored so far (initial lazy fills plus dirty-row
@@ -282,8 +309,10 @@ impl<'e, 'a> ScoreMatrix<'e, 'a> {
                 None => false,
             };
             if rescan {
+                self.meter.charge(self.m as u64);
                 self.col_best[v] = self.recompute_col(v, placement);
             } else {
+                self.meter.charge(pending.len() as u64);
                 // The cached best (if any) sits on an unchanged row and
                 // is still valid; challenge it with the changed rows.
                 let mut cur = self.col_best[v];
@@ -340,6 +369,8 @@ impl<'e, 'a> ScoreMatrix<'e, 'a> {
     /// the migration-gain bar — or `None` at a local optimum.
     pub fn best_move(&mut self, frozen: &[bool]) -> Option<(usize, usize)> {
         self.sync();
+        // The argmin over column bests touches every column once.
+        self.meter.charge(self.n as u64);
         let mut best: Option<(f64, f64, usize, usize)> = None;
         for (v, &is_frozen) in frozen.iter().enumerate().take(self.n) {
             if is_frozen {

@@ -11,14 +11,16 @@
 //! driven by lazily aggregated matrix rows.
 
 use eards_model::{
-    Action, Cluster, HostId, Policy, ScheduleContext, ScheduleReason, VmId, VmState,
+    Action, Cluster, DegradeStats, HostId, Policy, ScheduleContext, ScheduleReason, VmId, VmState,
 };
 use eards_obs::{Obs, ObsEvent};
+use eards_sim::{Persist, PersistError, Reader, Writer};
 
+use crate::budget::{DegradeLevel, OverloadControl, WorkMeter};
 use crate::config::ScoreConfig;
 use crate::eval::Eval;
 use crate::matrix::{EngineBuffers, ScoreMatrix};
-use crate::solver::solve_matrix;
+use crate::solver::{solve_matrix_at, Solution};
 
 /// Stable tag for a [`ScheduleReason`], used in trace events.
 fn reason_str(reason: ScheduleReason) -> &'static str {
@@ -69,6 +71,56 @@ pub struct ScoreScheduler {
     buffers: EngineBuffers,
     /// Observability handle; disabled by default (every call is a no-op).
     obs: Obs,
+    /// Overload control (work budget + degradation ladder). `None` keeps
+    /// the legacy always-full-quality path.
+    ctl: Option<OverloadControl>,
+    /// Ladder driver state, persisted so a restored run replays the same
+    /// rung sequence bit-for-bit.
+    state: DegradeState,
+    /// Cumulative overload diagnostics (transient; rebuilt from zero on
+    /// restore — the bench harness reads it through
+    /// [`Policy::degrade_stats`]).
+    stats: DegradeStats,
+}
+
+/// The ladder driver's persisted state.
+///
+/// `work_ewma` smooths recent rounds' deterministic work spend. Because
+/// the anytime solver stops *at* the budget, the EWMA alone can never
+/// exceed it by much — escalation is driven by the exhaustion flag (the
+/// round wanted more work than it got); the EWMA drives recovery (relax
+/// only once typical spend is comfortably under budget).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct DegradeState {
+    rung: DegradeLevel,
+    work_ewma: f64,
+    last_exhausted: bool,
+}
+
+impl Default for DegradeState {
+    fn default() -> Self {
+        DegradeState {
+            rung: DegradeLevel::L0Full,
+            work_ewma: 0.0,
+            last_exhausted: false,
+        }
+    }
+}
+
+impl Persist for DegradeState {
+    fn persist(&self, w: &mut Writer) {
+        self.rung.persist(w);
+        w.put_f64(self.work_ewma);
+        w.put_bool(self.last_exhausted);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(DegradeState {
+            rung: DegradeLevel::restore(r)?,
+            work_ewma: r.get_f64()?,
+            last_exhausted: r.get_bool()?,
+        })
+    }
 }
 
 impl ScoreScheduler {
@@ -85,7 +137,133 @@ impl ScoreScheduler {
             cfg,
             buffers: EngineBuffers::new(),
             obs,
+            ctl: None,
+            state: DegradeState::default(),
+            stats: DegradeStats::default(),
         }
+    }
+
+    /// Arms overload control: a per-round solver work budget and (when
+    /// `ctl.ladder`) the L0→L3 degradation ladder. Without this the
+    /// scheduler always runs the full-quality legacy path.
+    pub fn with_overload(mut self, ctl: OverloadControl) -> Self {
+        self.ctl = Some(ctl);
+        self
+    }
+
+    /// The armed overload control, if any.
+    pub fn overload(&self) -> Option<OverloadControl> {
+        self.ctl
+    }
+
+    /// Picks this round's ladder rung from the persisted driver state.
+    /// See [`DegradeState`] for the escalate/relax rationale.
+    fn select_rung(&mut self) -> DegradeLevel {
+        let Some(ctl) = self.ctl else {
+            return DegradeLevel::L0Full;
+        };
+        if let Some(forced) = ctl.force {
+            self.state.rung = forced;
+            return forced;
+        }
+        if !ctl.ladder || ctl.budget == u64::MAX {
+            return DegradeLevel::L0Full;
+        }
+        let budget = ctl.budget as f64;
+        let mut rung = self.state.rung;
+        if self.state.last_exhausted || self.state.work_ewma > budget {
+            rung = rung.escalate();
+        } else if self.state.work_ewma <= budget / 2.0 {
+            rung = rung.relax();
+        }
+        self.state.rung = rung;
+        rung
+    }
+
+    /// Books one executed round into the ladder state, the cumulative
+    /// stats, and the observability layer.
+    fn finish_round(
+        &mut self,
+        ctx: &ScheduleContext,
+        rung: DegradeLevel,
+        spent: u64,
+        exhausted: bool,
+    ) {
+        let Some(ctl) = self.ctl else { return };
+        self.state.work_ewma = ctl.alpha * spent as f64 + (1.0 - ctl.alpha) * self.state.work_ewma;
+        self.state.last_exhausted = exhausted;
+        self.stats.rounds += 1;
+        self.stats.rounds_at[rung.index()] += 1;
+        self.stats.total_work += spent;
+        self.stats.max_round_work = self.stats.max_round_work.max(spent);
+        if rung != DegradeLevel::L0Full {
+            self.stats.degraded_rounds += 1;
+        }
+        if exhausted {
+            self.stats.exhausted_rounds += 1;
+        }
+        if self.obs.is_enabled() {
+            if rung != DegradeLevel::L0Full || exhausted {
+                self.obs.inc(self.obs.counter("degraded_rounds"), 1);
+                self.obs.record(
+                    ctx.now,
+                    ObsEvent::RoundDegraded {
+                        level: rung.label(),
+                        work_spent: spent,
+                        budget: ctl.budget,
+                        exhausted,
+                    },
+                );
+            }
+            if ctl.budget != u64::MAX && ctl.budget > 0 {
+                let hist = self.obs.histogram(
+                    "budget_utilization_pct",
+                    &[10.0, 25.0, 50.0, 75.0, 90.0, 100.0],
+                );
+                self.obs
+                    .observe(hist, spent as f64 * 100.0 / ctl.budget as f64);
+            }
+        }
+    }
+
+    /// L2: greedy first-feasible placement of the queue columns — no
+    /// matrix, no hill climb, one `O(M)` probe scan per queued VM,
+    /// charged one work unit per probed cell so even this floor rung
+    /// respects the budget.
+    fn greedy_first_feasible(
+        eval: &mut Eval<'_>,
+        budget: u64,
+        rung: DegradeLevel,
+    ) -> (Solution, u64) {
+        let n = eval.num_vms();
+        let m = eval.num_hosts();
+        let mut meter = WorkMeter::with_budget(budget);
+        let mut moves = Vec::new();
+        let mut exhausted = false;
+        'cols: for v in 0..n {
+            for h in 0..m {
+                if meter.exhausted() {
+                    exhausted = true;
+                    break 'cols;
+                }
+                meter.charge(1);
+                if !eval.score(h, v).is_infinite() {
+                    eval.apply_move(v, h);
+                    moves.push((v, h));
+                    break;
+                }
+            }
+        }
+        (
+            Solution {
+                moves,
+                sweeps: 1,
+                hit_move_limit: false,
+                degrade: rung,
+                budget_exhausted: exhausted,
+            },
+            meter.spent(),
+        )
     }
 
     /// The matrix columns for the current round: the queue, plus — when
@@ -143,15 +321,25 @@ impl Policy for ScoreScheduler {
             ctx.reason,
             ScheduleReason::Periodic | ScheduleReason::SlaViolation
         );
+        // Overload control: pick this round's ladder rung up front — L1
+        // and above drop migration candidates, L3 defers the round
+        // entirely (queue intact; the driver's periodic timers re-arm).
+        let rung = self.select_rung();
+        if rung == DegradeLevel::L3Defer {
+            self.finish_round(ctx, rung, 0, false);
+            return Vec::new();
+        }
+        let effective_migrate = migrate_now && rung == DegradeLevel::L0Full;
         let mut cols = std::mem::take(&mut self.buffers.vms);
-        self.candidate_vms_into(cluster, migrate_now, &mut cols);
+        self.candidate_vms_into(cluster, effective_migrate, &mut cols);
         if cols.is_empty() {
             self.buffers.vms = cols;
             return Vec::new();
         }
         let queued = cluster.queue().len() as u32;
+        let budget = self.ctl.map_or(u64::MAX, |c| c.budget);
         let mut eval = Eval::new_in(cluster, &self.cfg, ctx.now, cols, &mut self.buffers);
-        let (sol, rows_rescored) = {
+        let (sol, rows_rescored, work_spent) = {
             // Sweep latency in µs: sub-ms buckets resolve the common case,
             // the tail buckets catch pathological rounds.
             let hist = self.obs.histogram(
@@ -159,11 +347,20 @@ impl Policy for ScoreScheduler {
                 &[50.0, 200.0, 1000.0, 5000.0, 25000.0, 100000.0],
             );
             let _span = self.obs.span("solve", ctx.now).with_hist(hist);
-            let mut matrix = ScoreMatrix::new_in(&mut eval, &mut self.buffers);
-            let sol = solve_matrix(&mut matrix, self.cfg.max_moves);
-            let rows = matrix.rows_rescored();
-            matrix.recycle(&mut self.buffers);
-            (sol, rows)
+            if rung == DegradeLevel::L2Greedy {
+                let (sol, spent) = Self::greedy_first_feasible(&mut eval, budget, rung);
+                (sol, 0, spent)
+            } else {
+                let mut matrix = ScoreMatrix::new_in(&mut eval, &mut self.buffers);
+                if budget != u64::MAX {
+                    matrix.set_work_budget(budget);
+                }
+                let sol = solve_matrix_at(&mut matrix, self.cfg.max_moves, rung);
+                let rows = matrix.rows_rescored();
+                let spent = matrix.work_spent();
+                matrix.recycle(&mut self.buffers);
+                (sol, rows, spent)
+            }
         };
         if self.obs.is_enabled() {
             self.obs.inc(self.obs.counter("solver_rounds"), 1);
@@ -219,7 +416,26 @@ impl Policy for ScoreScheduler {
             })
             .collect();
         eval.recycle(&mut self.buffers);
+        self.finish_round(ctx, rung, work_spent, sol.budget_exhausted);
         actions
+    }
+
+    /// The ladder driver state crosses rounds, so it must survive
+    /// snapshot/restore or a resumed run would replay different rungs.
+    /// Written unconditionally (fixed layout whether or not overload
+    /// control is armed); `stats` is transient diagnostics and is
+    /// deliberately not persisted.
+    fn persist_state(&self, w: &mut Writer) {
+        self.state.persist(w);
+    }
+
+    fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), PersistError> {
+        self.state = DegradeState::restore(r)?;
+        Ok(())
+    }
+
+    fn degrade_stats(&self) -> Option<DegradeStats> {
+        self.ctl.map(|_| self.stats)
     }
 
     /// §III-C: victims for power-off are picked by the aggregated matrix
@@ -537,5 +753,128 @@ mod tests {
         let c = cluster(&[HostClass::Medium]);
         let mut sched = ScoreScheduler::new(ScoreConfig::sb2());
         assert!(sched.schedule(&c, &ctx(0)).is_empty());
+    }
+
+    #[test]
+    fn unlimited_overload_control_is_bit_identical_to_unarmed() {
+        let mut c = cluster(&[HostClass::Medium, HostClass::Fast, HostClass::Slow]);
+        for i in 0..4 {
+            let _ = c.submit_job(job(i, 120, 900));
+        }
+        let mut plain = ScoreScheduler::new(ScoreConfig::full());
+        let mut armed = ScoreScheduler::new(ScoreConfig::full())
+            .with_overload(OverloadControl::with_budget(u64::MAX));
+        assert_eq!(plain.schedule(&c, &ctx(0)), armed.schedule(&c, &ctx(0)));
+    }
+
+    #[test]
+    fn ladder_escalates_on_exhaustion_and_relaxes_when_quiet() {
+        let mut s = ScoreScheduler::new(ScoreConfig::sb())
+            .with_overload(OverloadControl::with_budget(1000));
+        assert_eq!(s.select_rung(), DegradeLevel::L0Full);
+        // Three budget-blown rounds climb one rung each (the exhaustion
+        // flag drives escalation — the anytime solver stops *at* the
+        // budget, so spend alone can never exceed it by much).
+        for expect in [
+            DegradeLevel::L1QueueOnly,
+            DegradeLevel::L2Greedy,
+            DegradeLevel::L3Defer,
+        ] {
+            let rung = s.state.rung;
+            s.finish_round(&ctx(0), rung, 1000, true);
+            assert_eq!(s.select_rung(), expect);
+        }
+        // L3 saturates.
+        s.finish_round(&ctx(0), DegradeLevel::L3Defer, 0, true);
+        assert_eq!(s.select_rung(), DegradeLevel::L3Defer);
+        // Quiet rounds decay the EWMA; once it drops under half the
+        // budget the ladder steps back one rung per round, to L0.
+        let mut seen = Vec::new();
+        for _ in 0..40 {
+            let rung = s.state.rung;
+            s.finish_round(&ctx(0), rung, 0, false);
+            seen.push(s.select_rung());
+            if *seen.last().unwrap() == DegradeLevel::L0Full {
+                break;
+            }
+        }
+        assert_eq!(seen.last(), Some(&DegradeLevel::L0Full), "{seen:?}");
+        // Monotone descent: the recovery path never re-escalates.
+        assert!(seen.windows(2).all(|w| w[1] <= w[0]), "{seen:?}");
+        let stats = s.degrade_stats().expect("armed scheduler reports stats");
+        assert!(stats.degraded_rounds > 0);
+        assert_eq!(stats.exhausted_rounds, 4);
+    }
+
+    #[test]
+    fn forced_greedy_rung_places_first_feasible() {
+        let mut c = cluster(&[HostClass::Medium, HostClass::Medium]);
+        let a = c.submit_job(job(1, 100, 600));
+        let b = c.submit_job(job(2, 100, 600));
+        let mut s = ScoreScheduler::new(ScoreConfig::sb())
+            .with_overload(OverloadControl::forced(100_000, DegradeLevel::L2Greedy));
+        let actions = s.schedule(&c, &ctx(0));
+        // Greedy first-feasible: both land on the first host that fits.
+        assert_eq!(
+            actions,
+            vec![
+                Action::Create {
+                    vm: a,
+                    host: HostId(0)
+                },
+                Action::Create {
+                    vm: b,
+                    host: HostId(0)
+                },
+            ]
+        );
+        let stats = s.degrade_stats().unwrap();
+        assert_eq!(stats.rounds_at[DegradeLevel::L2Greedy.index()], 1);
+        assert!(stats.max_round_work <= 100_000);
+    }
+
+    #[test]
+    fn forced_defer_rung_emits_nothing() {
+        let mut c = cluster(&[HostClass::Medium]);
+        let _ = c.submit_job(job(1, 100, 600));
+        let mut s = ScoreScheduler::new(ScoreConfig::sb())
+            .with_overload(OverloadControl::forced(100, DegradeLevel::L3Defer));
+        assert!(s.schedule(&c, &ctx(0)).is_empty());
+        let stats = s.degrade_stats().unwrap();
+        assert_eq!(stats.rounds_at[DegradeLevel::L3Defer.index()], 1);
+        assert_eq!(stats.total_work, 0);
+    }
+
+    #[test]
+    fn greedy_rung_respects_infeasibility() {
+        // One saturated host: greedy must not force an infeasible move.
+        let mut c = cluster(&[HostClass::Medium]);
+        let a = c.submit_job(job(1, 400, 6000));
+        c.start_creation(a, HostId(0), SimTime::ZERO, SimTime::from_secs(40));
+        c.finish_creation(a, SimTime::from_secs(40));
+        let _b = c.submit_job(job(2, 100, 600));
+        let mut s = ScoreScheduler::new(ScoreConfig::sb())
+            .with_overload(OverloadControl::forced(1000, DegradeLevel::L2Greedy));
+        assert!(s.schedule(&c, &ctx(50)).is_empty());
+    }
+
+    #[test]
+    fn ladder_state_round_trips_through_persist() {
+        let mut s =
+            ScoreScheduler::new(ScoreConfig::sb()).with_overload(OverloadControl::with_budget(500));
+        s.finish_round(&ctx(0), DegradeLevel::L0Full, 500, true);
+        s.finish_round(&ctx(1), DegradeLevel::L1QueueOnly, 400, false);
+        let mut w = Writer::new();
+        s.persist_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored =
+            ScoreScheduler::new(ScoreConfig::sb()).with_overload(OverloadControl::with_budget(500));
+        let mut r = Reader::new(&bytes);
+        restored.restore_state(&mut r).expect("valid payload");
+        r.finish().expect("payload fully consumed");
+        assert_eq!(restored.state, s.state);
+        // The restored driver picks the same next rung.
+        assert_eq!(restored.select_rung(), s.select_rung());
     }
 }

@@ -35,6 +35,7 @@
 //! move-for-move equality) and as the baseline the solver benchmarks
 //! compare against.
 
+use crate::budget::DegradeLevel;
 use crate::eval::Eval;
 use crate::matrix::ScoreMatrix;
 use crate::score::Score;
@@ -52,6 +53,12 @@ pub struct Solution {
     /// Whether the run stopped on the iteration limit rather than on
     /// convergence.
     pub hit_move_limit: bool,
+    /// The degradation-ladder rung this solve executed at (caller-
+    /// supplied context; plain [`solve`]/[`solve_matrix`] runs are L0).
+    pub degrade: DegradeLevel,
+    /// Whether the matrix's armed work budget ran out mid-climb: the
+    /// moves are the best found so far, not a local optimum.
+    pub budget_exhausted: bool,
 }
 
 /// Runs hill climbing until convergence or `max_moves`, using the
@@ -66,12 +73,37 @@ pub fn solve(eval: &mut Eval<'_>, max_moves: usize) -> Solution {
 /// engine's allocations across rounds; see
 /// [`EngineBuffers`](crate::matrix::EngineBuffers)).
 pub fn solve_matrix(matrix: &mut ScoreMatrix<'_, '_>, max_moves: usize) -> Solution {
+    solve_matrix_at(matrix, max_moves, DegradeLevel::L0Full)
+}
+
+/// [`solve_matrix`] with an explicit degradation rung tagged into the
+/// returned [`Solution`], honoring the matrix's armed work budget: the
+/// budget is checked at the top of every sweep, so on exhaustion the
+/// climb stops and returns the best-so-far moves with
+/// `budget_exhausted` set. Overshoot past the budget is bounded by one
+/// sweep's work — at worst the initial lazy fill plus the first
+/// column-best scan (`2·m·n`), one argmin and one challenge (`2n`), and
+/// one column recompute (`m`).
+pub fn solve_matrix_at(
+    matrix: &mut ScoreMatrix<'_, '_>,
+    max_moves: usize,
+    degrade: DegradeLevel,
+) -> Solution {
     let n = matrix.num_vms();
     let mut frozen = vec![false; n];
     let mut moves = Vec::new();
     let mut sweeps = 0;
 
     while moves.len() < max_moves {
+        if matrix.work_exhausted() {
+            return Solution {
+                moves,
+                sweeps,
+                hit_move_limit: false,
+                degrade,
+                budget_exhausted: true,
+            };
+        }
         sweeps += 1;
         match matrix.best_move(&frozen) {
             Some((v, h)) => {
@@ -84,6 +116,8 @@ pub fn solve_matrix(matrix: &mut ScoreMatrix<'_, '_>, max_moves: usize) -> Solut
                     moves,
                     sweeps,
                     hit_move_limit: false,
+                    degrade,
+                    budget_exhausted: false,
                 };
             }
         }
@@ -92,6 +126,8 @@ pub fn solve_matrix(matrix: &mut ScoreMatrix<'_, '_>, max_moves: usize) -> Solut
         moves,
         sweeps,
         hit_move_limit: true,
+        degrade,
+        budget_exhausted: false,
     }
 }
 
@@ -156,6 +192,8 @@ pub fn solve_reference(eval: &mut Eval<'_>, max_moves: usize) -> Solution {
                     moves,
                     sweeps,
                     hit_move_limit: false,
+                    degrade: DegradeLevel::L0Full,
+                    budget_exhausted: false,
                 };
             }
         }
@@ -164,6 +202,8 @@ pub fn solve_reference(eval: &mut Eval<'_>, max_moves: usize) -> Solution {
         moves,
         sweeps,
         hit_move_limit: true,
+        degrade: DegradeLevel::L0Full,
+        budget_exhausted: false,
     }
 }
 
@@ -323,6 +363,69 @@ mod tests {
             let sol = solve_reference(&mut eval, 1);
             assert_eq!(sol.moves, vec![expect]);
         }
+    }
+
+    #[test]
+    fn budgeted_solve_is_a_prefix_of_the_unbudgeted_climb() {
+        // The anytime property: stopping on budget exhaustion must yield
+        // exactly the first k moves of the full climb, for every budget.
+        let mut c = cluster(6);
+        let vms: Vec<VmId> = (0..10).map(|i| c.submit_job(job(i, 150))).collect();
+        let cfg = ScoreConfig::sb();
+        let full = {
+            let mut eval = crate::eval::Eval::new(&c, &cfg, t(0), vms.clone());
+            solve(&mut eval, 100)
+        };
+        assert!(full.moves.len() >= 2, "need a multi-move case: {full:?}");
+        for budget in [1u64, 50, 200, 1000, 5000] {
+            let mut eval = crate::eval::Eval::new(&c, &cfg, t(0), vms.clone());
+            let mut matrix = crate::matrix::ScoreMatrix::new(&mut eval);
+            matrix.set_work_budget(budget);
+            let sol = crate::solver::solve_matrix_at(
+                &mut matrix,
+                100,
+                crate::budget::DegradeLevel::L0Full,
+            );
+            assert_eq!(
+                sol.moves,
+                full.moves[..sol.moves.len()],
+                "budget {budget}: not a prefix"
+            );
+            if !sol.budget_exhausted {
+                assert_eq!(sol.moves, full.moves, "unexhausted run must be complete");
+            }
+        }
+    }
+
+    #[test]
+    fn unarmed_budget_is_bit_identical_to_legacy() {
+        let mut c = cluster(5);
+        let vms: Vec<VmId> = (0..8).map(|i| c.submit_job(job(i, 120))).collect();
+        let cfg = ScoreConfig::sb();
+        let mut eval = crate::eval::Eval::new(&c, &cfg, t(0), vms.clone());
+        let legacy = solve_reference(&mut eval, 100);
+        let mut eval = crate::eval::Eval::new(&c, &cfg, t(0), vms);
+        let sol = solve(&mut eval, 100);
+        assert_eq!(sol.moves, legacy.moves);
+        assert!(!sol.budget_exhausted);
+        assert_eq!(sol.degrade, crate::budget::DegradeLevel::L0Full);
+    }
+
+    #[test]
+    fn exhausted_solve_reports_best_so_far() {
+        let mut c = cluster(6);
+        let vms: Vec<VmId> = (0..10).map(|i| c.submit_job(job(i, 150))).collect();
+        let cfg = ScoreConfig::sb();
+        let mut eval = crate::eval::Eval::new(&c, &cfg, t(0), vms);
+        let mut matrix = crate::matrix::ScoreMatrix::new(&mut eval);
+        matrix.set_work_budget(1);
+        let sol =
+            crate::solver::solve_matrix_at(&mut matrix, 100, crate::budget::DegradeLevel::L0Full);
+        // Budget 1 allows the first sweep (check happens before work is
+        // spent), then stops: at most one move, flagged exhausted.
+        assert!(sol.budget_exhausted);
+        assert!(sol.moves.len() <= 1, "{sol:?}");
+        assert!(matrix.work_spent() >= 1);
     }
 
     #[test]

@@ -139,6 +139,23 @@ pub enum AuditKind {
         /// The new λ_min.
         lambda_min: f64,
     },
+    /// Backpressure parked a flapping VM (retry attempts passed the cap).
+    VmParked {
+        /// The parked VM.
+        vm: VmId,
+        /// Retry attempts when parked.
+        attempts: u32,
+    },
+    /// A parked VM re-entered admission (flapping blacklist cleared).
+    VmUnparked {
+        /// The released VM.
+        vm: VmId,
+    },
+    /// Degrade mode lifted a repaired host's flapping blacklist.
+    BlacklistCleared {
+        /// The host.
+        host: HostId,
+    },
 }
 
 /// One timestamped audit entry.
@@ -192,6 +209,11 @@ impl AuditEvent {
             AuditKind::LambdaAdjusted { lambda_min } => {
                 format!("λ_min adjusted to {lambda_min:.2}")
             }
+            AuditKind::VmParked { vm, attempts } => {
+                format!("{vm} PARKED after {attempts} retries")
+            }
+            AuditKind::VmUnparked { vm } => format!("{vm} unparked"),
+            AuditKind::BlacklistCleared { host } => format!("{host} blacklist cleared"),
         };
         format!("[{}] {}", self.at, body)
     }
@@ -293,6 +315,19 @@ impl Persist for AuditKind {
                 w.put_u8(19);
                 w.put_f64(*lambda_min);
             }
+            AuditKind::VmParked { vm, attempts } => {
+                w.put_u8(20);
+                vm.persist(w);
+                w.put_u32(*attempts);
+            }
+            AuditKind::VmUnparked { vm } => {
+                w.put_u8(21);
+                vm.persist(w);
+            }
+            AuditKind::BlacklistCleared { host } => {
+                w.put_u8(22);
+                host.persist(w);
+            }
         }
     }
     fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
@@ -369,6 +404,16 @@ impl Persist for AuditKind {
             },
             19 => AuditKind::LambdaAdjusted {
                 lambda_min: r.get_f64()?,
+            },
+            20 => AuditKind::VmParked {
+                vm: VmId::restore(r)?,
+                attempts: r.get_u32()?,
+            },
+            21 => AuditKind::VmUnparked {
+                vm: VmId::restore(r)?,
+            },
+            22 => AuditKind::BlacklistCleared {
+                host: HostId::restore(r)?,
             },
             t => return Err(PersistError::Corrupt(format!("bad AuditKind tag {t}"))),
         })

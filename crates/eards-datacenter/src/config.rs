@@ -111,6 +111,20 @@ pub struct RunConfig {
     /// Disabled by default: every hook is a no-op and the run is
     /// bit-identical to an unobserved one.
     pub obs: Obs,
+    /// Per-round solver work budget in deterministic work units (cell
+    /// rescores + argmin scans). `None` = unlimited: the run is
+    /// bit-identical to one without the overload-control layer. This
+    /// field documents the run; the budget itself is armed on the policy
+    /// (see `eards_core::ScoreScheduler::with_overload`).
+    pub solver_budget: Option<u64>,
+    /// Enable runner backpressure: cap retry backoff growth at
+    /// [`RunConfig::park_after`] attempts and park VMs past the cap in a
+    /// deterministic queue that re-enters admission when the flapping
+    /// blacklist clears. Off by default (legacy unbounded backoff).
+    pub degrade: bool,
+    /// Retry attempts after which a still-queued VM is parked rather than
+    /// re-entering the backoff ladder (only when [`RunConfig::degrade`]).
+    pub park_after: u32,
 }
 
 impl Default for RunConfig {
@@ -136,6 +150,9 @@ impl Default for RunConfig {
             audit: false,
             seed: 0x0EA2D5,
             obs: Obs::disabled(),
+            solver_budget: None,
+            degrade: false,
+            park_after: 6,
         }
     }
 }
@@ -167,6 +184,14 @@ impl RunConfig {
     /// spans and score attributions in the same trace.
     pub fn with_obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Enables overload control: records the per-round solver work budget
+    /// and switches on runner backpressure (retry cap + parked queue).
+    pub fn with_overload(mut self, budget: u64) -> Self {
+        self.solver_budget = Some(budget);
+        self.degrade = true;
         self
     }
 }

@@ -230,8 +230,16 @@ pub struct Runner {
     /// it regardless of what else they randomize.
     faults: FaultEngine,
     /// Retry backoff state of VMs whose creation/migration failed.
-    // lint:allow(D001): keyed get/insert/remove only, never iterated
-    retry: HashMap<VmId, RetryState>,
+    /// BTreeMap, not HashMap: persisted wholesale and (in degrade mode)
+    /// audited per-entry, so order must not depend on hasher state.
+    retry: BTreeMap<VmId, RetryState>,
+    /// Backpressure: VMs whose retry ladder passed `cfg.park_after`
+    /// attempts, parked (still `Queued`) until the flapping blacklist
+    /// clears. BTreeMap so release order is deterministic. Empty unless
+    /// `cfg.degrade`.
+    parked: BTreeMap<VmId, SimTime>,
+    /// VMs ever parked by backpressure (monotone counter).
+    vms_parked: u64,
     /// Crashes accumulated per host (feeds the flapping blacklist).
     crash_counts: Vec<u32>,
     /// When each currently-unrecovered VM was displaced or failed
@@ -344,7 +352,9 @@ impl Runner {
             failure_timer: BTreeMap::new(),
             slowdown_timer: BTreeMap::new(),
             faults,
-            retry: HashMap::new(),
+            retry: BTreeMap::new(),
+            parked: BTreeMap::new(),
+            vms_parked: 0,
             crash_counts,
             displaced_at: HashMap::new(),
             auditor,
@@ -411,6 +421,18 @@ impl Runner {
             jobs_done: self.jobs_done,
             jobs_total: self.jobs.len(),
         }
+    }
+
+    /// The policy driving this run (read-only) — lets callers inspect
+    /// policy-side telemetry such as
+    /// [`eards_model::Policy::degrade_stats`] after stepping a run.
+    pub fn policy(&self) -> &dyn Policy {
+        self.policy.as_ref()
+    }
+
+    /// VMs ever parked by runner backpressure (0 unless degrade mode).
+    pub fn vms_parked(&self) -> u64 {
+        self.vms_parked
     }
 
     /// The simulation horizon: the run drains for at most
@@ -606,10 +628,8 @@ impl Runner {
             self.slowdown_timer.iter().map(|(&k, &v)| (k, v)).collect();
         slowdown.persist(w);
         self.faults.persist(w);
-        let mut retry: Vec<(VmId, RetryState)> =
-            // lint:allow(D001): collected then key-sorted before serializing
-            self.retry.iter().map(|(&k, &v)| (k, v)).collect();
-        retry.sort_by_key(|&(vm, _)| vm);
+        // BTreeMap: already key-sorted, serialize in iteration order.
+        let retry: Vec<(VmId, RetryState)> = self.retry.iter().map(|(&k, &v)| (k, v)).collect();
         retry.persist(w);
         self.crash_counts.persist(w);
         let mut displaced: Vec<(VmId, SimTime)> =
@@ -634,6 +654,9 @@ impl Runner {
         w.put_f64(self.lambda_min);
         self.audit.persist(w);
         self.sat_window.persist(w);
+        let parked: Vec<(VmId, SimTime)> = self.parked.iter().map(|(&k, &v)| (k, v)).collect();
+        parked.persist(w);
+        w.put_u64(self.vms_parked);
         self.cluster.persist(w);
         // Policy-private state rides in a length-prefixed block so the
         // outer layout stays policy-agnostic.
@@ -703,6 +726,8 @@ impl Runner {
         self.lambda_min = r.get_f64()?;
         self.audit = Vec::restore(r)?;
         self.sat_window = eards_metrics::Summary::restore(r)?;
+        self.parked = Vec::<(VmId, SimTime)>::restore(r)?.into_iter().collect();
+        self.vms_parked = r.get_u64()?;
         self.cluster = Cluster::restore(r)?;
         let mut block = r.get_block()?;
         self.policy.restore_state(&mut block)?;
@@ -900,6 +925,16 @@ impl Runner {
                         id: h.raw() as u64,
                     },
                 );
+                // In degrade mode a repair wipes the host's flapping
+                // record: the blacklist lifts and the crash count resets
+                // (so renewed flapping can re-blacklist it), which in turn
+                // may let parked VMs back in.
+                if self.cfg.degrade && self.cluster.is_blacklisted(h) {
+                    self.cluster.blacklist(h, 0.0);
+                    self.crash_counts[h.raw() as usize] = 0;
+                    self.note(now, AuditKind::BlacklistCleared { host: h });
+                }
+                let _ = self.try_release_parked(now);
                 Some(ScheduleReason::HostStateChanged)
             }
             Event::CreationAborted(vm, seq) => {
@@ -1089,15 +1124,23 @@ impl Runner {
                     self.sim
                         .schedule_after(self.cfg.sla_check_period, Event::SlaCheck);
                 }
-                violated.then_some(ScheduleReason::SlaViolation)
+                // Periodic release guard: without this, a run whose
+                // blacklist cleared between repairs could strand parked
+                // VMs until the next repair/consolidation event.
+                let released = self.try_release_parked(now);
+                violated
+                    .then_some(ScheduleReason::SlaViolation)
+                    .or(released)
             }
             Event::ConsolidationTick => {
                 if let (Some(p), false) = (self.cfg.consolidation_period, self.finished()) {
                     self.sim.schedule_after(p, Event::ConsolidationTick);
                 }
+                let released = self.try_release_parked(now);
                 self.policy
                     .uses_migration()
                     .then_some(ScheduleReason::Periodic)
+                    .or(released)
             }
             Event::LambdaAdjust => {
                 let al = self
@@ -1177,6 +1220,11 @@ impl Runner {
                         if r.eligible > now {
                             continue;
                         }
+                    }
+                    // Parked VMs sit out admission entirely until the
+                    // flapping blacklist clears (backpressure).
+                    if self.parked.contains_key(&vm) {
+                        continue;
                     }
                     let mean = self.cluster.host(host).spec.class.creation_cost();
                     let dur = self.op_duration(mean, self.cfg.creation_jitter_std);
@@ -1479,6 +1527,12 @@ impl Runner {
     /// schedules its release. The VM stays in the queue (respectively on
     /// its source host); [`Runner::schedule_round`] refuses to act on it
     /// until the backoff expires.
+    ///
+    /// In degrade mode the ladder is bounded: backoff growth caps at
+    /// `cfg.park_after` attempts, and a still-queued VM past the cap is
+    /// *parked* — removed from the backoff ladder entirely and held (still
+    /// `Queued`, never lost) until [`Runner::try_release_parked`] lets it
+    /// back into admission.
     fn apply_backoff(&mut self, vm: VmId, now: SimTime) {
         let attempts = {
             let entry = self.retry.entry(vm).or_insert(RetryState {
@@ -1488,11 +1542,56 @@ impl Runner {
             entry.attempts += 1;
             entry.attempts
         };
-        let backoff = self.faults.plan().recovery.backoff(attempts);
+        if self.cfg.degrade
+            && attempts > self.cfg.park_after
+            && self.cluster.vm(vm).state == VmState::Queued
+        {
+            self.retry.remove(&vm);
+            self.parked.insert(vm, now);
+            self.vms_parked += 1;
+            let ctr = self.obs.counter("vms_parked");
+            self.obs.inc(ctr, 1);
+            self.obs.record(
+                now,
+                ObsEvent::VmParked {
+                    vm: vm.raw(),
+                    attempts,
+                },
+            );
+            self.note(now, AuditKind::VmParked { vm, attempts });
+            return;
+        }
+        // Degrade mode caps backoff growth; legacy mode grows unbounded.
+        let eff = if self.cfg.degrade {
+            attempts.min(self.cfg.park_after)
+        } else {
+            attempts
+        };
+        let backoff = self.faults.plan().recovery.backoff(eff);
         self.retry.get_mut(&vm).expect("just inserted").eligible = now + backoff;
         self.fstats.retries_delayed += 1;
         self.obs.observe(self.retry_hist, f64::from(attempts));
         self.sim.schedule_after(backoff, Event::RetryRelease(vm));
+    }
+
+    /// Releases every parked VM back into admission once no host is
+    /// blacklisted (the flapping that caused the pile-up has cleared).
+    /// Deterministic: the parked map is a BTreeMap, so release order is
+    /// VM-id order. No-op unless degrade mode parked anything.
+    fn try_release_parked(&mut self, now: SimTime) -> Option<ScheduleReason> {
+        if self.parked.is_empty() {
+            return None;
+        }
+        let any_blacklisted =
+            (0..self.cluster.num_hosts()).any(|i| self.cluster.is_blacklisted(HostId(i as u32)));
+        if any_blacklisted {
+            return None;
+        }
+        let released = std::mem::take(&mut self.parked);
+        for &vm in released.keys() {
+            self.note(now, AuditKind::VmUnparked { vm });
+        }
+        Some(ScheduleReason::VmArrived)
     }
 
     /// Closes a VM's recovery interval if one is open (it was displaced or
@@ -1532,6 +1631,25 @@ impl Runner {
             }
         }
         if let Some(msg) = timer_violation {
+            self.auditor.report(now, msg);
+        }
+        // No VM is ever lost to backpressure: every parked VM is still
+        // queued (so conservation holds) and off the retry ladder.
+        let mut parked_violation: Option<String> = None;
+        for &vm in self.parked.keys() {
+            if self.cluster.vm(vm).state != VmState::Queued {
+                parked_violation = Some(format!(
+                    "parked {vm} in state {:?}, expected Queued",
+                    self.cluster.vm(vm).state
+                ));
+                break;
+            }
+            if self.retry.contains_key(&vm) {
+                parked_violation = Some(format!("parked {vm} still on the retry ladder"));
+                break;
+            }
+        }
+        if let Some(msg) = parked_violation {
             self.auditor.report(now, msg);
         }
         self.auditor

@@ -12,8 +12,8 @@
 
 use proptest::prelude::*;
 
-use eards_core::{ScoreConfig, ScoreScheduler};
-use eards_datacenter::{render_log, small_datacenter, AuditEvent, RunConfig, Runner};
+use eards_core::{OverloadControl, ScoreConfig, ScoreScheduler};
+use eards_datacenter::{render_log, small_datacenter, AuditEvent, AuditorMode, RunConfig, Runner};
 use eards_metrics::RunReport;
 use eards_model::{FaultPlan, HostClass, HostSpec, Policy};
 use eards_obs::Obs;
@@ -51,6 +51,25 @@ fn config(sim_seed: u64, chaos: f64, obs: &Obs) -> RunConfig {
 
 fn policy(obs: &Obs) -> Box<dyn Policy> {
     Box::new(ScoreScheduler::with_obs(ScoreConfig::full(), obs.clone()))
+}
+
+/// An overload-controlled world: budgeted anytime solver + degradation
+/// ladder on the policy, bounded retry/parking backpressure on the
+/// runner, Strict auditing (deep `Cluster::verify` after every batch,
+/// panic on the first violation) under heavy chaos.
+fn degraded_config(sim_seed: u64, obs: &Obs) -> RunConfig {
+    let mut cfg = config(sim_seed, 2.0, obs);
+    cfg.auditor = AuditorMode::Strict;
+    cfg.degrade = true;
+    cfg.park_after = 3;
+    cfg
+}
+
+fn degraded_policy(obs: &Obs, budget: u64) -> Box<dyn Policy> {
+    Box::new(
+        ScoreScheduler::with_obs(ScoreConfig::full(), obs.clone())
+            .with_overload(OverloadControl::with_budget(budget)),
+    )
 }
 
 /// Extracts the `t_ms` field every exported JSONL line starts with.
@@ -121,6 +140,74 @@ proptest! {
         // The resumed run re-emits exactly the post-checkpoint tail of the
         // reference observability stream (its pre-checkpoint events live
         // in the abandoned run's sink).
+        let full = obs_base.export_jsonl();
+        let tail: Vec<&str> = full.lines().filter(|l| t_ms(l) > ckpt_ms).collect();
+        let resumed_full = obs_res.export_jsonl();
+        let resumed_lines: Vec<&str> = resumed_full.lines().collect();
+        prop_assert_eq!(resumed_lines, tail);
+    }
+
+    /// The overload-control variant of the property, across random
+    /// workloads, seeds and budgets: Strict auditing proves every
+    /// budget-exhausted round still yields placements passing
+    /// `Cluster::verify` (and that backpressure never loses a VM), and
+    /// the fingerprint + `round_degraded` tail equality prove a mid-run
+    /// snapshot/restore replays the identical `DegradeLevel` sequence —
+    /// the ladder driver state is part of the policy's snapshot block.
+    #[test]
+    fn degraded_snapshot_resume_is_bit_identical(
+        hosts in 3u32..7,
+        hours in 1u64..3,
+        trace_seed in 0u64..1000,
+        sim_seed in 0u64..1000,
+        budget in prop_oneof![Just(300u64), Just(2_000), Just(20_000)],
+        ckpt_batches in 1usize..300,
+    ) {
+        let obs_base = Obs::enabled(1 << 16);
+        let (h, t) = world(hosts, hours, trace_seed);
+        let (r0, a0) = Runner::new(
+            h,
+            t,
+            degraded_policy(&obs_base, budget),
+            degraded_config(sim_seed, &obs_base),
+        )
+        .run_audited();
+
+        let obs_cut = Obs::enabled(1 << 16);
+        let (h, t) = world(hosts, hours, trace_seed);
+        let mut cut = Runner::new(
+            h,
+            t,
+            degraded_policy(&obs_cut, budget),
+            degraded_config(sim_seed, &obs_cut),
+        );
+        for _ in 0..ckpt_batches {
+            if !cut.step_batch() {
+                break;
+            }
+        }
+        let ckpt_ms = cut.now().as_millis();
+        let bytes = cut.snapshot();
+        drop(cut);
+
+        let obs_res = Obs::enabled(1 << 16);
+        let (h, t) = world(hosts, hours, trace_seed);
+        let mut resumed = Runner::restore(
+            h,
+            t,
+            degraded_policy(&obs_res, budget),
+            degraded_config(sim_seed, &obs_res),
+            &bytes,
+        )
+        .expect("snapshot restores against its own world");
+        while resumed.step_batch() {}
+        let (r1, a1) = resumed.finish();
+
+        prop_assert_eq!(fingerprint(&r0, &a0), fingerprint(&r1, &a1));
+
+        // The resumed run replays the post-checkpoint event tail exactly,
+        // including every `round_degraded` record: same rungs, same work
+        // spend, same exhaustion flags.
         let full = obs_base.export_jsonl();
         let tail: Vec<&str> = full.lines().filter(|l| t_ms(l) > ckpt_ms).collect();
         let resumed_full = obs_res.export_jsonl();

@@ -39,7 +39,7 @@ pub use fault::{FaultPlan, RackPlan, RecoveryPolicy, SlowdownPlan};
 pub use host::{HostClass, HostSpec, InFlightOp, OpKind, PowerState};
 pub use ids::{HostId, JobId, VmId};
 pub use job::{Arch, Hypervisor, Job, Requirements};
-pub use policy::{Action, Policy, ScheduleContext, ScheduleReason};
+pub use policy::{Action, DegradeStats, Policy, ScheduleContext, ScheduleReason};
 pub use power::{
     CalibratedPowerModel, ConstantPowerModel, DvfsPowerModel, EnergyProportionalModel, PowerModel,
 };

@@ -59,6 +59,26 @@ pub enum Action {
     },
 }
 
+/// Cumulative overload-control statistics a policy may expose (see
+/// `eards-core`'s `ScoreScheduler` degradation ladder). All counters are
+/// since construction/restore; work is in deterministic solver work
+/// units, never wall-clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DegradeStats {
+    /// Scheduling rounds executed.
+    pub rounds: u64,
+    /// Rounds that ran at a rung above L0 (full quality).
+    pub degraded_rounds: u64,
+    /// Rounds whose solver work budget was exhausted mid-climb.
+    pub exhausted_rounds: u64,
+    /// Rounds executed at each ladder rung (index 0 = L0 … 3 = L3).
+    pub rounds_at: [u64; 4],
+    /// Largest single-round work spend observed.
+    pub max_round_work: u64,
+    /// Total work spent across all rounds.
+    pub total_work: u64,
+}
+
 /// A VM scheduling policy.
 pub trait Policy {
     /// Display name (used as the row label in the result tables).
@@ -104,6 +124,13 @@ pub trait Policy {
     /// accepts the empty payload the default `persist_state` produced.
     fn restore_state(&mut self, _r: &mut Reader<'_>) -> Result<(), PersistError> {
         Ok(())
+    }
+
+    /// Overload-control statistics, for policies running a work-budgeted
+    /// solver. `None` (the default) means the policy has no notion of
+    /// degradation.
+    fn degrade_stats(&self) -> Option<DegradeStats> {
+        None
     }
 }
 

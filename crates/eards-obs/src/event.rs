@@ -152,6 +152,28 @@ pub enum ObsEvent {
         /// The state it entered.
         state: PowerFlipKind,
     },
+    /// A scheduling round ran degraded: at a ladder rung above L0, or
+    /// with its solver work budget exhausted mid-climb (see the
+    /// overload-control layer, DESIGN.md §14).
+    RoundDegraded {
+        /// The degradation rung's stable label (`l0_full` … `l3_defer`).
+        level: &'static str,
+        /// Deterministic solver work units spent this round.
+        work_spent: u64,
+        /// The configured per-round work budget.
+        budget: u64,
+        /// Whether the budget ran out mid-climb (best-so-far placement).
+        exhausted: bool,
+    },
+    /// A flapping VM was parked by runner backpressure: its retry
+    /// attempts passed the cap, so it leaves the backoff ladder and
+    /// waits (still queued) until the flapping blacklist clears.
+    VmParked {
+        /// The parked VM.
+        vm: u64,
+        /// Retry attempts when parked.
+        attempts: u32,
+    },
 }
 
 impl ObsEvent {
@@ -165,6 +187,8 @@ impl ObsEvent {
             ObsEvent::Fault { .. } => "fault",
             ObsEvent::Recovery { .. } => "recovery",
             ObsEvent::PowerFlip { .. } => "power_flip",
+            ObsEvent::RoundDegraded { .. } => "round_degraded",
+            ObsEvent::VmParked { .. } => "vm_parked",
         }
     }
 
@@ -220,6 +244,20 @@ impl ObsEvent {
             }
             ObsEvent::PowerFlip { host, state } => {
                 let _ = write!(out, "\"host\":{host},\"state\":\"{}\"", state.as_str());
+            }
+            ObsEvent::RoundDegraded {
+                level,
+                work_spent,
+                budget,
+                exhausted,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"level\":\"{level}\",\"work_spent\":{work_spent},\"budget\":{budget},\"exhausted\":{exhausted}"
+                );
+            }
+            ObsEvent::VmParked { vm, attempts } => {
+                let _ = write!(out, "\"vm\":{vm},\"attempts\":{attempts}");
             }
         }
     }

@@ -33,7 +33,12 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"EARDSNAP";
 
 /// Current snapshot format version. Bump on any encoding change; readers
 /// reject snapshots written by other versions.
-pub const SNAPSHOT_VERSION: u8 = 1;
+///
+/// v2: the score-based scheduler's policy block gained the degradation-
+/// ladder driver state (rung tag + work EWMA + exhaustion flag), and the
+/// runner grew the backpressure `parked` queue — v1 snapshots no longer
+/// decode and are rejected cleanly here instead of mis-parsing.
+pub const SNAPSHOT_VERSION: u8 = 2;
 
 /// A type whose canonical state can be written to and rebuilt from the
 /// snapshot codec.
@@ -365,13 +370,25 @@ pub fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()>
             ))
         }
     };
-    {
+    let written = (|| {
         use std::io::Write;
         let mut f = std::fs::File::create(&tmp)?;
         f.write_all(bytes)?;
         f.sync_all()?;
+        Ok(())
+    })();
+    // Any failure must leave the filesystem as if the call never
+    // happened: the target untouched and no orphaned `.tmp` debris for a
+    // retry (or a directory listing) to trip over.
+    if let Err(e) = written {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
     }
-    std::fs::rename(&tmp, path)
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    Ok(())
 }
 
 macro_rules! persist_via {

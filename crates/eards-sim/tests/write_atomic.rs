@@ -1,0 +1,118 @@
+//! Failure-path coverage for [`eards_sim::write_atomic`]: every error is
+//! a typed `std::io::Error`, the target file is never torn or
+//! half-visible, and no `.tmp` debris survives a failed call.
+
+use std::fs;
+use std::io::ErrorKind;
+use std::path::PathBuf;
+
+use eards_sim::write_atomic;
+
+/// A fresh scratch directory per test (removed on drop).
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("eards-write-atomic-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+
+    /// Files currently in the scratch dir (sorted names).
+    fn listing(&self) -> Vec<String> {
+        let mut names: Vec<String> = fs::read_dir(&self.0)
+            .expect("scratch dir readable")
+            .map(|e| {
+                e.expect("dir entry")
+                    .file_name()
+                    .to_string_lossy()
+                    .into_owned()
+            })
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn writes_then_replaces_without_leaving_tmp() {
+    let s = Scratch::new("replace");
+    let target = s.path("snap.bin");
+    write_atomic(&target, b"first").expect("initial write");
+    assert_eq!(fs::read(&target).expect("readable"), b"first");
+    write_atomic(&target, b"the second version").expect("replacement write");
+    assert_eq!(fs::read(&target).expect("readable"), b"the second version");
+    // The staging file never outlives a successful call.
+    assert_eq!(s.listing(), vec!["snap.bin".to_string()]);
+}
+
+#[test]
+fn path_without_file_name_is_invalid_input() {
+    let err = write_atomic(std::path::Path::new("/"), b"x").expect_err("no file name");
+    assert_eq!(err.kind(), ErrorKind::InvalidInput);
+    assert!(err.to_string().contains("no file name"), "{err}");
+}
+
+#[test]
+fn missing_parent_directory_is_not_found_and_creates_nothing() {
+    let s = Scratch::new("noparent");
+    let target = s.path("absent/snap.bin");
+    let err = write_atomic(&target, b"x").expect_err("parent missing");
+    assert_eq!(err.kind(), ErrorKind::NotFound);
+    // Nothing appeared: not the target, not a staging file.
+    assert!(
+        s.listing().is_empty(),
+        "scratch stayed empty: {:?}",
+        s.listing()
+    );
+}
+
+#[test]
+fn blocked_staging_path_leaves_previous_file_intact() {
+    let s = Scratch::new("blocked-tmp");
+    let target = s.path("snap.bin");
+    write_atomic(&target, b"previous generation").expect("initial write");
+    // A directory squatting on `<path>.tmp` makes `File::create` fail
+    // before a single byte is staged.
+    fs::create_dir(s.path("snap.bin.tmp")).expect("squatter dir");
+    let err = write_atomic(&target, b"next generation").expect_err("staging blocked");
+    assert!(
+        matches!(
+            err.kind(),
+            ErrorKind::AlreadyExists | ErrorKind::IsADirectory
+        ),
+        "unexpected kind {:?}",
+        err.kind()
+    );
+    // The reader-visible file is the complete previous version — never
+    // empty, never a mix.
+    assert_eq!(fs::read(&target).expect("readable"), b"previous generation");
+}
+
+#[test]
+fn failed_rename_cleans_up_the_staging_file() {
+    let s = Scratch::new("bad-rename");
+    // A non-empty directory at the target makes the final rename fail
+    // after the staging file was fully written and fsynced.
+    let target = s.path("snap.bin");
+    fs::create_dir(&target).expect("target dir");
+    fs::write(target.join("occupant"), b"x").expect("occupant");
+    let err = write_atomic(&target, b"payload").expect_err("rename onto non-empty dir");
+    // Kind varies by platform/filesystem; the type contract is just that
+    // it is a real io::Error and the staging file is gone.
+    let _ = err.kind();
+    assert_eq!(s.listing(), vec!["snap.bin".to_string()]);
+    assert!(target.is_dir(), "target directory untouched");
+}
