@@ -73,9 +73,9 @@ fn main() {
         runner.now()
     );
 
-    let bytes = runner.snapshot();
+    let bytes = runner.snapshot().expect("snapshot encodes");
     let snapshot_ms = time_min_ms(5, || {
-        std::hint::black_box(runner.snapshot());
+        std::hint::black_box(runner.snapshot().expect("snapshot encodes"));
     });
     let restore_ms = time_min_ms(5, || {
         let (hosts, trace, policy, cfg) = world();
@@ -88,7 +88,7 @@ fn main() {
     let (hosts, trace, policy, cfg) = world();
     let restored = Runner::restore(hosts, trace, policy, cfg, &bytes).expect("snapshot restores");
     assert_eq!(
-        restored.snapshot(),
+        restored.snapshot().expect("snapshot encodes"),
         bytes,
         "restored runner must re-serialize to the identical byte stream"
     );

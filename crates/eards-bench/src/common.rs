@@ -159,6 +159,117 @@ pub fn solver_case(hosts: u32, running: u64, queued: u64) -> (Cluster, Vec<VmId>
     (cluster, cols)
 }
 
+/// A large-scale solver workload for the sharded engine: `hosts` Medium
+/// nodes each directly loaded with `per_host` running 100-point VMs
+/// (`per_host` ≤ 4; placements are feasible by construction, skipping
+/// the `O(hosts)` feasibility probe per VM that makes [`solver_case`]
+/// setup quadratic and unusable at 10k hosts), plus `queued` 100-point
+/// VMs awaiting placement.
+pub fn scale_case(hosts: u32, per_host: u32, queued: u64) -> (Cluster, Vec<VmId>) {
+    assert!(
+        per_host <= 4,
+        "Medium hosts fit at most 4 hundred-point VMs"
+    );
+    let specs = (0..hosts)
+        .map(|i| HostSpec::standard(HostId(i), HostClass::Medium))
+        .collect();
+    let mut cluster = Cluster::new(specs, PowerState::On);
+    let mut cols = Vec::new();
+    let t0 = SimTime::ZERO;
+    let t1 = SimTime::from_secs(40);
+    let mut job_id = 0u64;
+    for _ in 0..per_host {
+        for h in 0..hosts {
+            let vm = cluster.submit_job(Job::new(
+                JobId(job_id),
+                t0,
+                Cpu(100),
+                Mem::gib(1),
+                SimDuration::from_secs(7200),
+                1.5,
+            ));
+            job_id += 1;
+            cluster.start_creation(vm, HostId(h), t0, t1);
+            cluster.finish_creation(vm, t1);
+            cols.push(vm);
+        }
+    }
+    for _ in 0..queued {
+        let vm = cluster.submit_job(Job::new(
+            JobId(job_id),
+            t1,
+            Cpu(100),
+            Mem::gib(1),
+            SimDuration::from_secs(3600),
+            1.5,
+        ));
+        job_id += 1;
+        cols.push(vm);
+    }
+    (cluster, cols)
+}
+
+/// Merges `(label, mean seconds per iteration)` results into the
+/// workspace-root `BENCH_solver.json` baseline: existing entries with
+/// other labels are preserved, colliding labels are overwritten, and the
+/// derived reference/incremental speedup is recomputed from the merged
+/// set. Lets the `solver` and `solver_scale` benches extend one baseline
+/// file without clobbering each other's points.
+pub fn merge_solver_baseline(path: &Path, new: &[(String, f64)]) -> std::io::Result<()> {
+    let mut merged: Vec<(String, f64)> = Vec::new();
+    if let Ok(text) = fs::read_to_string(path) {
+        for line in text.lines() {
+            // Result entries look like `    "label": 1.234e-3,` — other
+            // lines fail the prefix strip or the f64 parse and are
+            // skipped (the speedup is derived, so it is skipped by name
+            // and recomputed below).
+            let Some(rest) = line.trim().strip_prefix('"') else {
+                continue;
+            };
+            let Some((label, value)) = rest.split_once("\": ") else {
+                continue;
+            };
+            if label.starts_with("speedup") {
+                continue;
+            }
+            if let Ok(v) = value.trim_end_matches(',').parse::<f64>() {
+                merged.push((label.to_string(), v));
+            }
+        }
+    }
+    for (label, mean) in new {
+        if let Some(entry) = merged.iter_mut().find(|(l, _)| l == label) {
+            entry.1 = *mean;
+        } else {
+            merged.push((label.clone(), *mean));
+        }
+    }
+    let mut json = String::from(
+        "{\n  \"bench\": \"solver\",\n  \"unit\": \"mean_seconds_per_iter\",\n  \"results\": {\n",
+    );
+    for (i, (label, mean)) in merged.iter().enumerate() {
+        let comma = if i + 1 < merged.len() { "," } else { "" };
+        json.push_str(&format!("    \"{label}\": {mean:e}{comma}\n"));
+    }
+    json.push_str("  }");
+    let find = |suffix: &str| {
+        merged
+            .iter()
+            .find(|(label, _)| label.ends_with(suffix))
+            .map(|&(_, mean)| mean)
+    };
+    if let (Some(reference), Some(incremental)) =
+        (find("/reference_100h_200v"), find("/incremental_100h_200v"))
+    {
+        json.push_str(&format!(
+            ",\n  \"speedup_100h_200v\": {:.2}",
+            reference / incremental
+        ));
+    }
+    json.push_str("\n}\n");
+    fs::write(path, json)
+}
+
 /// Prints a result to stdout and writes it (plus artifacts) to
 /// `results/`; the standard tail of every experiment binary.
 pub fn emit(result: &ExperimentResult) {

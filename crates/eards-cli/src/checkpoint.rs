@@ -19,16 +19,20 @@ use eards_datacenter::Runner;
 use eards_sim::{read_header, write_header, PersistError, Reader, Writer};
 
 /// Encodes a checkpoint file: header, provenance argv, snapshot payload.
-pub fn encode_checkpoint(argv: &[String], runner: &Runner) -> Vec<u8> {
+///
+/// Fails only if the provenance or the runner snapshot overflows the
+/// codec's `u32` length prefix — surfaced as a typed error so the CLI
+/// reports it instead of panicking mid-run.
+pub fn encode_checkpoint(argv: &[String], runner: &Runner) -> Result<Vec<u8>, PersistError> {
     let mut w = Writer::new();
     write_header(&mut w);
     w.put_len(argv.len());
     for a in argv {
         w.put_str(a);
     }
-    let mut out = w.into_bytes();
-    out.extend_from_slice(&runner.snapshot());
-    out
+    let mut out = w.into_bytes()?;
+    out.extend_from_slice(&runner.snapshot()?);
+    Ok(out)
 }
 
 /// Decodes a checkpoint file into `(provenance argv, snapshot payload)`.

@@ -64,6 +64,10 @@ COMMON FLAGS:
                               absent = unlimited, bit-identical to before
   --degrade                   runner backpressure under overload: cap retry backoff
                               growth and park flapping VMs until blacklists clear
+  --shards N                  partition the cluster into N rack-aligned shards and
+                              run the hierarchical solver (local hill climbs + a
+                              cross-shard balancer) on score policies; absent or 1 =
+                              the dense single-matrix solver, bit-identical to before
   --seed S                    simulation seed (operation jitter, failures)
   --economics                 additionally print revenue/energy-cost/profit
   --power-series FILE.csv     write the datacenter power trace
@@ -208,7 +212,13 @@ fn run_cmd(tokens: &[String]) -> Result<String, CliError> {
     let trace = build_trace(&args)?;
     let cfg = build_run_config(&args)?;
     let obs = cfg.obs.clone();
-    let policy = make_policy(&policy_name, cfg.seed, &obs, overload_from(&cfg))?;
+    let policy = make_policy(
+        &policy_name,
+        cfg.seed,
+        &obs,
+        overload_from(&cfg),
+        cfg.shard_spec(),
+    )?;
     let runner = Runner::new(hosts, trace, policy, cfg);
     let mut ckpt_note = String::new();
     let report = match args.get_opt::<u64>("checkpoint-every")? {
@@ -239,10 +249,9 @@ fn run_cmd(tokens: &[String]) -> Result<String, CliError> {
             while runner.step_batch() {
                 if runner.now().as_millis() >= next.as_millis() {
                     let path = format!("{dir}/ckpt_t{}.bin", runner.now().as_millis());
-                    eards_sim::write_atomic(
-                        std::path::Path::new(&path),
-                        &crate::checkpoint::encode_checkpoint(&provenance, &runner),
-                    )?;
+                    let bytes = crate::checkpoint::encode_checkpoint(&provenance, &runner)
+                        .map_err(|e| CliError::Snapshot(e.to_string()))?;
+                    eards_sim::write_atomic(std::path::Path::new(&path), &bytes)?;
                     written += 1;
                     while runner.now().as_millis() >= next.as_millis() {
                         next += period;
@@ -280,7 +289,13 @@ fn resume_cmd(tokens: &[String]) -> Result<String, CliError> {
     let trace = build_trace(&args)?;
     let cfg = build_run_config(&args)?;
     let obs = cfg.obs.clone();
-    let policy = make_policy(&policy_name, cfg.seed, &obs, overload_from(&cfg))?;
+    let policy = make_policy(
+        &policy_name,
+        cfg.seed,
+        &obs,
+        overload_from(&cfg),
+        cfg.shard_spec(),
+    )?;
     let mut runner = Runner::restore(hosts, trace, policy, cfg, snap)
         .map_err(|e| CliError::Snapshot(format!("{path}: {e}")))?;
     while runner.step_batch() {}
@@ -305,7 +320,13 @@ fn compare_cmd(tokens: &[String]) -> Result<String, CliError> {
     let cfg = build_run_config(&args)?;
     let mut reports = Vec::new();
     for name in &names {
-        let policy = make_policy(name, cfg.seed, &cfg.obs, overload_from(&cfg))?;
+        let policy = make_policy(
+            name,
+            cfg.seed,
+            &cfg.obs,
+            overload_from(&cfg),
+            cfg.shard_spec(),
+        )?;
         let report = Runner::new(hosts.clone(), trace.clone(), policy, cfg.clone()).run();
         reports.push(report);
     }
@@ -342,11 +363,12 @@ fn sweep_cmd(tokens: &[String]) -> Result<String, CliError> {
     }
     let seed = base.seed;
     let ctl = overload_from(&base);
+    let shards = base.shard_spec();
     let labels: Vec<String> = points.iter().map(|p| p.label.clone()).collect();
     let reports = run_sweep(
         &hosts,
         &trace,
-        || make_policy(&policy_name, seed, &Obs::disabled(), ctl).expect("validated above"),
+        || make_policy(&policy_name, seed, &Obs::disabled(), ctl, shards).expect("validated above"),
         points,
     );
     let mut t = Table::new(["setting", "Pwr (kWh)", "S (%)", "delay (%)", "Mig"]);

@@ -153,7 +153,7 @@ fn build_grid(args: &Args) -> Result<SweepGrid, CliError> {
             names = vec![args.value("policy").unwrap_or("sb").to_string()];
         }
         for name in &names {
-            make_policy(name, 0, &Obs::disabled(), None)?;
+            make_policy(name, 0, &Obs::disabled(), None, None)?;
         }
         names
     };
@@ -195,7 +195,13 @@ fn shard_runner(args: &Args, spec: &ShardSpec, obs: &Obs) -> Result<Runner, CliE
         cfg = cfg.with_faults(FaultPlan::chaos(spec.chaos));
     }
     cfg = cfg.with_obs(obs.clone());
-    let policy = make_policy(&spec.policy, cfg.seed, &cfg.obs, overload_from(&cfg))?;
+    let policy = make_policy(
+        &spec.policy,
+        cfg.seed,
+        &cfg.obs,
+        overload_from(&cfg),
+        cfg.shard_spec(),
+    )?;
     Ok(Runner::new(hosts, trace, policy, cfg))
 }
 
@@ -428,8 +434,14 @@ pub fn worker_cmd(tokens: &[String]) -> Result<String, CliError> {
                     cfg = cfg.with_faults(FaultPlan::chaos(spec.chaos));
                 }
                 cfg = cfg.with_obs(obs.clone());
-                let policy = make_policy(&spec.policy, cfg.seed, &cfg.obs, overload_from(&cfg))
-                    .map_err(|e| e.to_string())?;
+                let policy = make_policy(
+                    &spec.policy,
+                    cfg.seed,
+                    &cfg.obs,
+                    overload_from(&cfg),
+                    cfg.shard_spec(),
+                )
+                .map_err(|e| e.to_string())?;
                 Runner::restore(hosts, trace, policy, cfg, &bytes).map_err(|e| e.to_string())
             });
         match restored {
@@ -462,7 +474,10 @@ pub fn worker_cmd(tokens: &[String]) -> Result<String, CliError> {
         let now = runner.now();
         if let (Some(period), Some(next)) = (ckpt_period, next_ckpt) {
             if now >= next {
-                eards_sim::write_atomic(&ckpt_file, &runner.snapshot())?;
+                let bytes = runner
+                    .snapshot()
+                    .map_err(|e| CliError::Snapshot(e.to_string()))?;
+                eards_sim::write_atomic(&ckpt_file, &bytes)?;
                 say(&protocol::WorkerMsg::Checkpoint {
                     path: ckpt_file.display().to_string(),
                 });

@@ -3,7 +3,7 @@
 
 use eards_core::{OverloadControl, ScoreConfig, ScoreScheduler};
 use eards_datacenter::{paper_datacenter, small_datacenter, AdaptiveLambda, RunConfig};
-use eards_model::{FaultPlan, HostClass, HostSpec, Policy};
+use eards_model::{FaultPlan, HostClass, HostSpec, Policy, ShardSpec};
 use eards_obs::Obs;
 use eards_policies::{BackfillingPolicy, DynamicBackfillingPolicy, RandomPolicy, RoundRobinPolicy};
 use eards_sim::SimDuration;
@@ -83,6 +83,7 @@ pub const COMMON_VALUED: &[&str] = &[
     "checkpoint-every",
     "checkpoint-out",
     "solver-budget",
+    "shards",
 ];
 
 /// The observability export flags (valued; `run` only).
@@ -110,20 +111,25 @@ pub fn overload_from(cfg: &RunConfig) -> Option<OverloadControl> {
 /// Builds a policy by CLI name. Score-based policies are handed a clone
 /// of `obs` so solver spans and score attributions land in the same trace
 /// as the runner's events (a disabled handle keeps every hook a no-op),
-/// and `ctl` arms their work budget + degradation ladder (`None` leaves
-/// the solver unbounded; non-score policies ignore it).
+/// `ctl` arms their work budget + degradation ladder (`None` leaves the
+/// solver unbounded), and `shards` arms the sharded hierarchical solver
+/// (`None` keeps the dense matrix path; non-score policies ignore both).
 pub fn make_policy(
     name: &str,
     seed: u64,
     obs: &Obs,
     ctl: Option<OverloadControl>,
+    shards: Option<ShardSpec>,
 ) -> Result<Box<dyn Policy>, CliError> {
     let score = |cfg: ScoreConfig| -> Box<dyn Policy> {
-        let sched = ScoreScheduler::with_obs(cfg, obs.clone());
-        Box::new(match ctl {
-            Some(c) => sched.with_overload(c),
-            None => sched,
-        })
+        let mut sched = ScoreScheduler::with_obs(cfg, obs.clone());
+        if let Some(c) = ctl {
+            sched = sched.with_overload(c);
+        }
+        if let Some(s) = shards {
+            sched = sched.with_shards(s);
+        }
+        Box::new(sched)
     };
     Ok(match name.to_ascii_lowercase().as_str() {
         "rd" | "random" => Box::new(RandomPolicy::new(seed)),
@@ -221,6 +227,14 @@ pub fn build_run_config(args: &Args) -> Result<RunConfig, CliError> {
         }
         cfg.solver_budget = Some(b);
     }
+    if let Some(n) = args.get_opt::<u32>("shards")? {
+        if n == 0 {
+            return Err(CliError::Usage(
+                "--shards must be a positive shard count".into(),
+            ));
+        }
+        cfg.shards = Some(n);
+    }
     if args.switch("degrade") {
         cfg.degrade = true;
     }
@@ -290,16 +304,19 @@ mod tests {
         assert!(build_run_config(&parse("--lambda-min 90 --lambda-max 30")).is_err());
         assert!(build_hosts(&parse("--hosts 0")).is_err());
         assert!(build_trace(&parse("--load-factor -1")).is_err());
-        assert!(make_policy("quantum", 0, &Obs::disabled(), None).is_err());
+        assert!(make_policy("quantum", 0, &Obs::disabled(), None, None).is_err());
     }
 
     #[test]
     fn all_policies_constructible() {
         for p in ["rd", "rr", "bf", "dbf", "sb0", "sb1", "sb2", "sb", "sb-ext"] {
-            assert!(make_policy(p, 1, &Obs::disabled(), None).is_ok(), "{p}");
+            assert!(
+                make_policy(p, 1, &Obs::disabled(), None, None).is_ok(),
+                "{p}"
+            );
             let ctl = Some(OverloadControl::with_budget(10_000));
             assert!(
-                make_policy(p, 1, &Obs::disabled(), ctl).is_ok(),
+                make_policy(p, 1, &Obs::disabled(), ctl, Some(ShardSpec::with_count(4))).is_ok(),
                 "{p} armed"
             );
         }
@@ -320,6 +337,29 @@ mod tests {
         assert!(ctl.ladder);
 
         assert!(build_run_config(&parse("--solver-budget 0")).is_err());
+    }
+
+    #[test]
+    fn shards_flag() {
+        let cfg = build_run_config(&parse("")).unwrap();
+        assert_eq!(cfg.shards, None);
+        assert!(cfg.shard_spec().is_none());
+
+        let cfg = build_run_config(&parse("--shards 4")).unwrap();
+        assert_eq!(cfg.shards, Some(4));
+        let spec = cfg.shard_spec().unwrap();
+        assert_eq!((spec.count, spec.rack_size), (4, 8));
+
+        // A single shard is the dense path: no spec to arm.
+        let cfg = build_run_config(&parse("--shards 1")).unwrap();
+        assert!(cfg.shard_spec().is_none());
+
+        // With a rack fault plan, shard boundaries follow its rack size.
+        let cfg = build_run_config(&parse("--shards 4 --chaos 1.0")).unwrap();
+        let spec = cfg.shard_spec().unwrap();
+        assert_eq!(spec.rack_size, 8, "chaos rack plan uses the default size");
+
+        assert!(build_run_config(&parse("--shards 0")).is_err());
     }
 
     #[test]

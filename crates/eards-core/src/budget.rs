@@ -245,7 +245,7 @@ mod tests {
         for rung in DegradeLevel::ALL {
             let mut w = Writer::new();
             rung.persist(&mut w);
-            let bytes = w.into_bytes();
+            let bytes = w.into_bytes().unwrap();
             let mut r = Reader::new(&bytes);
             assert_eq!(DegradeLevel::restore(&mut r).unwrap(), rung);
             r.finish().unwrap();

@@ -20,7 +20,7 @@
 //! the two, so cached and from-scratch evaluation share one code path and
 //! one floating-point addition order — scores are bit-identical either way.
 
-use eards_model::{Cluster, HostId, PowerState, Resources, VmId};
+use eards_model::{Cluster, HostId, PowerState, Resources, Vm, VmId};
 use eards_sim::SimTime;
 
 use crate::config::ScoreConfig;
@@ -82,6 +82,12 @@ pub struct Eval<'a> {
     now: SimTime,
     /// Matrix columns.
     vms: Vec<VmId>,
+    /// The columns' VM records, resolved once at construction. The
+    /// cluster stores VMs in a hash map, and scoring reads each column's
+    /// record several times per cell — at datacenter scale those repeated
+    /// hash lookups dominate the matrix fill, so they are paid exactly
+    /// once per column here.
+    vm_refs: Vec<&'a Vm>,
     /// Original placement of each matrix VM (`None` = virtual host).
     original: Vec<Option<usize>>,
     /// Current hypothetical placement.
@@ -127,12 +133,12 @@ impl<'a> Eval<'a> {
                 .iter()
                 .map(|h| h.resident.len() + h.incoming.len()),
         );
+        // Borrowed references can't live in the recycled buffers, but a
+        // vector of pointers is cheap to rebuild each round.
+        let vm_refs: Vec<&'a Vm> = vms.iter().map(|&v| cluster.vm(v)).collect();
         let mut original = std::mem::take(&mut buf.original);
         original.clear();
-        original.extend(
-            vms.iter()
-                .map(|&v| cluster.vm(v).host.map(|h| h.raw() as usize)),
-        );
+        original.extend(vm_refs.iter().map(|vm| vm.host.map(|h| h.raw() as usize)));
         let mut placement = std::mem::take(&mut buf.placement);
         placement.clear();
         placement.extend_from_slice(&original);
@@ -143,6 +149,7 @@ impl<'a> Eval<'a> {
             placement,
             original,
             vms,
+            vm_refs,
             committed,
             vm_count,
         }
@@ -200,7 +207,7 @@ impl<'a> Eval<'a> {
 
     /// Moves VM `v` to host `h` in the hypothesis.
     pub fn apply_move(&mut self, v: usize, h: usize) {
-        let req = self.cluster.vm(self.vms[v]).requested;
+        let req = self.vm_refs[v].requested;
         if let Some(old) = self.placement[v] {
             // The overlay is built from the cluster's own committed totals,
             // so removing a VM from its hypothetical host can never underflow
@@ -236,13 +243,30 @@ impl<'a> Eval<'a> {
         self.placement[v] = Some(h);
     }
 
+    /// Resources requested by column `v`'s VM.
+    pub fn requested_of(&self, v: usize) -> Resources {
+        self.vm_refs[v].requested
+    }
+
+    /// Free (uncommitted) capacity of host `h` under the current
+    /// hypothesis. The sharded solver's balancer uses this to pre-filter
+    /// which shards could possibly take an unplaced VM without scoring
+    /// every cell.
+    pub fn free_capacity(&self, h: usize) -> Resources {
+        let cap = self.cluster.host(HostId(h as u32)).spec.capacity();
+        Resources::new(
+            cap.cpu.saturating_sub(self.committed[h].cpu),
+            eards_model::Mem(cap.mem.mib().saturating_sub(self.committed[h].mem.mib())),
+        )
+    }
+
     /// Occupation host `h` would have with VM `v` placed there (the
     /// paper's `O(h, vm)`), under the current hypothesis.
     fn occupation_with(&self, h: usize, v: usize) -> f64 {
         let cap = self.cluster.host(HostId(h as u32)).spec.capacity();
         let mut used = self.committed[h];
         if self.placement[v] != Some(h) {
-            used = used.plus(self.cluster.vm(self.vms[v]).requested);
+            used = used.plus(self.vm_refs[v].requested);
         }
         used.occupation_in(cap)
     }
@@ -268,7 +292,7 @@ impl<'a> Eval<'a> {
     /// valid across every [`Eval::apply_move`] of the round.
     pub fn static_cell(&self, h: usize, v: usize) -> CellStatic {
         let host = self.cluster.host(HostId(h as u32));
-        let vm = self.cluster.vm(self.vms[v]);
+        let vm = self.vm_refs[v];
 
         // P_req (§III-A.1) — plus the basic physical precondition that the
         // host is actually up (an off host "cannot fulfil" anything).
@@ -392,7 +416,7 @@ impl<'a> Eval<'a> {
     /// paper's `P_virt` is realized by exclusion rather than by a score.
     fn p_virt_movein(&self, h: usize, v: usize) -> Score {
         let host = self.cluster.host(HostId(h as u32));
-        let vm = self.cluster.vm(self.vms[v]);
+        let vm = self.vm_refs[v];
         if self.original[v].is_none() {
             // New VM: creation cost on this host.
             return Score::finite(host.spec.class.creation_cost().as_secs_f64());
@@ -427,7 +451,7 @@ impl<'a> Eval<'a> {
     /// Dynamic SLA enforcement penalty (§III-A.5). Fulfilment is projected
     /// for the *candidate* host from the CPU it could offer the VM.
     fn p_sla(&self, h: usize, v: usize) -> Score {
-        let vm = self.cluster.vm(self.vms[v]);
+        let vm = self.vm_refs[v];
         let deadline = vm.job.deadline().as_secs_f64();
         if deadline <= 0.0 {
             return Score::finite(self.cfg.c_sla);

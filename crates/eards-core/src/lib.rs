@@ -35,6 +35,7 @@ mod explain;
 pub mod matrix;
 mod scheduler;
 mod score;
+pub mod shard;
 mod solver;
 
 pub use budget::{DegradeLevel, OverloadControl, WorkMeter};
@@ -46,4 +47,5 @@ pub use explain::{
 pub use matrix::{EngineBuffers, ScoreMatrix};
 pub use scheduler::{row_score, ScoreScheduler};
 pub use score::Score;
+pub use shard::{solve_sharded, ShardedOutcome};
 pub use solver::{solve, solve_matrix, solve_matrix_at, solve_reference, Move, Solution};

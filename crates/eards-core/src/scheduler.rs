@@ -11,7 +11,8 @@
 //! driven by lazily aggregated matrix rows.
 
 use eards_model::{
-    Action, Cluster, DegradeStats, HostId, Policy, ScheduleContext, ScheduleReason, VmId, VmState,
+    Action, Cluster, DegradeStats, HostId, Policy, ScheduleContext, ScheduleReason, ShardMap,
+    ShardSpec, VmId, VmState,
 };
 use eards_obs::{Obs, ObsEvent};
 use eards_sim::{Persist, PersistError, Reader, Writer};
@@ -20,6 +21,7 @@ use crate::budget::{DegradeLevel, OverloadControl, WorkMeter};
 use crate::config::ScoreConfig;
 use crate::eval::Eval;
 use crate::matrix::{EngineBuffers, ScoreMatrix};
+use crate::shard::solve_sharded;
 use crate::solver::{solve_matrix_at, Solution};
 
 /// Stable tag for a [`ScheduleReason`], used in trace events.
@@ -77,6 +79,13 @@ pub struct ScoreScheduler {
     /// Ladder driver state, persisted so a restored run replays the same
     /// rung sequence bit-for-bit.
     state: DegradeState,
+    /// Sharding request for the hierarchical solver (`None` = the dense
+    /// single-matrix path). The realized [`ShardMap`] is re-derived from
+    /// the live cluster size every round, so it tracks cluster growth.
+    shards: Option<ShardSpec>,
+    /// Round-robin cursor for dealing queue columns to shards. Persisted:
+    /// a restored run must deal the same columns to the same shards.
+    shard_cursor: u64,
     /// Cumulative overload diagnostics (transient; rebuilt from zero on
     /// restore — the bench harness reads it through
     /// [`Policy::degrade_stats`]).
@@ -139,6 +148,8 @@ impl ScoreScheduler {
             obs,
             ctl: None,
             state: DegradeState::default(),
+            shards: None,
+            shard_cursor: 0,
             stats: DegradeStats::default(),
         }
     }
@@ -154,6 +165,33 @@ impl ScoreScheduler {
     /// The armed overload control, if any.
     pub fn overload(&self) -> Option<OverloadControl> {
         self.ctl
+    }
+
+    /// Arms the sharded hierarchical solver: full-quality rounds
+    /// partition the cluster into rack-aligned shards that hill-climb
+    /// locally, with a cross-shard balancer re-homing stranded queue
+    /// columns between passes (see [`crate::shard`]). A spec that
+    /// realizes a single shard (small cluster, or `count <= 1`) keeps the
+    /// dense path, which the sharded solver matches bit-for-bit anyway.
+    pub fn with_shards(mut self, spec: ShardSpec) -> Self {
+        self.shards = Some(spec);
+        self
+    }
+
+    /// The armed sharding request, if any.
+    pub fn shard_spec(&self) -> Option<ShardSpec> {
+        self.shards
+    }
+
+    /// The shard map the scheduler would use this round, if sharding is
+    /// armed and realizes more than one shard for `num_hosts`.
+    fn shard_map_for(&self, num_hosts: usize) -> Option<ShardMap> {
+        let spec = self.shards.filter(|s| s.count >= 2)?;
+        if num_hosts == 0 {
+            return None;
+        }
+        let map = ShardMap::build(num_hosts, spec.rack_size, spec.count);
+        (map.num_shards() >= 2).then_some(map)
     }
 
     /// Picks this round's ladder rung from the persisted driver state.
@@ -350,6 +388,19 @@ impl Policy for ScoreScheduler {
             if rung == DegradeLevel::L2Greedy {
                 let (sol, spent) = Self::greedy_first_feasible(&mut eval, budget, rung);
                 (sol, 0, spent)
+            } else if let Some(map) = self.shard_map_for(cluster.num_hosts()) {
+                let out = solve_sharded(
+                    &mut eval,
+                    &map,
+                    self.shard_cursor,
+                    self.cfg.max_moves,
+                    budget,
+                    rung,
+                );
+                // Advance the deal cursor so consecutive rounds rotate the
+                // queue across shards instead of always loading shard 0.
+                self.shard_cursor = self.shard_cursor.wrapping_add(out.creations_assigned);
+                (out.solution, out.rows_rescored, out.work_spent)
             } else {
                 let mut matrix = ScoreMatrix::new_in(&mut eval, &mut self.buffers);
                 if budget != u64::MAX {
@@ -420,17 +471,20 @@ impl Policy for ScoreScheduler {
         actions
     }
 
-    /// The ladder driver state crosses rounds, so it must survive
-    /// snapshot/restore or a resumed run would replay different rungs.
-    /// Written unconditionally (fixed layout whether or not overload
-    /// control is armed); `stats` is transient diagnostics and is
-    /// deliberately not persisted.
+    /// The ladder driver state and the shard deal cursor cross rounds, so
+    /// they must survive snapshot/restore or a resumed run would replay
+    /// different rungs / deal queue columns to different shards. Written
+    /// unconditionally (fixed layout whether or not overload control or
+    /// sharding is armed — snapshot v3); `stats` is transient diagnostics
+    /// and is deliberately not persisted.
     fn persist_state(&self, w: &mut Writer) {
         self.state.persist(w);
+        w.put_u64(self.shard_cursor);
     }
 
     fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), PersistError> {
         self.state = DegradeState::restore(r)?;
+        self.shard_cursor = r.get_u64()?;
         Ok(())
     }
 
@@ -866,7 +920,7 @@ mod tests {
         s.finish_round(&ctx(1), DegradeLevel::L1QueueOnly, 400, false);
         let mut w = Writer::new();
         s.persist_state(&mut w);
-        let bytes = w.into_bytes();
+        let bytes = w.into_bytes().unwrap();
 
         let mut restored =
             ScoreScheduler::new(ScoreConfig::sb()).with_overload(OverloadControl::with_budget(500));
@@ -876,5 +930,139 @@ mod tests {
         assert_eq!(restored.state, s.state);
         // The restored driver picks the same next rung.
         assert_eq!(restored.select_rung(), s.select_rung());
+    }
+
+    #[test]
+    fn sustained_under_budget_rounds_walk_l2_l1_l0() {
+        // Regression: recovery must step DOWN one rung per relax, never
+        // jump (a jump skips the L1 queue-only round that drains the
+        // backlog cheaply before full matrix rounds resume).
+        let mut s = ScoreScheduler::new(ScoreConfig::sb())
+            .with_overload(OverloadControl::with_budget(1000));
+        // Two blown rounds park the ladder at L2.
+        for _ in 0..2 {
+            let rung = s.state.rung;
+            s.finish_round(&ctx(0), rung, 1000, true);
+            s.select_rung();
+        }
+        assert_eq!(s.state.rung, DegradeLevel::L2Greedy);
+        // Sustained cheap rounds: EWMA decays toward the spend, crosses
+        // budget/2, and the ladder walks L2 → L1 → L0 one rung at a time.
+        let mut seen = vec![s.state.rung];
+        for _ in 0..40 {
+            let rung = s.state.rung;
+            s.finish_round(&ctx(0), rung, 100, false);
+            seen.push(s.select_rung());
+            if *seen.last().unwrap() == DegradeLevel::L0Full {
+                break;
+            }
+        }
+        assert_eq!(seen.last(), Some(&DegradeLevel::L0Full), "{seen:?}");
+        assert!(
+            seen.contains(&DegradeLevel::L1QueueOnly),
+            "descent must pass through L1: {seen:?}"
+        );
+        // Monotone, single-step descent.
+        assert!(
+            seen.windows(2)
+                .all(|w| w[1] <= w[0] && w[0].index() - w[1].index() <= 1),
+            "{seen:?}"
+        );
+    }
+
+    #[test]
+    fn restored_ladder_replays_the_same_relax_sequence() {
+        // Regression for the EWMA being part of the snapshot: a driver
+        // restored mid-descent must relax on exactly the same rounds as
+        // the original. (If the EWMA were rebuilt at zero, the restored
+        // side would relax immediately and the sequences would diverge.)
+        let ctl = OverloadControl::with_budget(1000);
+        let mut s = ScoreScheduler::new(ScoreConfig::sb()).with_overload(ctl);
+        for _ in 0..3 {
+            let rung = s.state.rung;
+            s.finish_round(&ctx(0), rung, 1000, true);
+            s.select_rung();
+        }
+        // Two quiet rounds leave the EWMA mid-decay, above budget/2.
+        for _ in 0..2 {
+            let rung = s.state.rung;
+            s.finish_round(&ctx(0), rung, 100, false);
+            s.select_rung();
+        }
+        let mut w = Writer::new();
+        s.persist_state(&mut w);
+        let bytes = w.into_bytes().unwrap();
+        let mut restored = ScoreScheduler::new(ScoreConfig::sb()).with_overload(ctl);
+        let mut r = Reader::new(&bytes);
+        restored.restore_state(&mut r).expect("valid payload");
+
+        let replay = |d: &mut ScoreScheduler| -> Vec<DegradeLevel> {
+            (0..30)
+                .map(|_| {
+                    let rung = d.state.rung;
+                    d.finish_round(&ctx(0), rung, 100, false);
+                    d.select_rung()
+                })
+                .collect()
+        };
+        let original = replay(&mut s);
+        let replayed = replay(&mut restored);
+        assert_eq!(original, replayed);
+        assert_eq!(original.last(), Some(&DegradeLevel::L0Full), "{original:?}");
+    }
+
+    #[test]
+    fn sharded_scheduler_places_queue_and_advances_cursor() {
+        let mut c = cluster(&[HostClass::Medium; 4]);
+        for i in 0..3 {
+            let _ = c.submit_job(job(i, 150, 900));
+        }
+        let mut s = ScoreScheduler::new(ScoreConfig::sb()).with_shards(ShardSpec {
+            count: 2,
+            rack_size: 2,
+        });
+        let actions = s.schedule(&c, &ctx(0));
+        assert_eq!(actions.len(), 3, "{actions:?}");
+        assert!(actions.iter().all(|a| matches!(a, Action::Create { .. })));
+        // Three queue columns dealt round-robin → the cursor advances by 3,
+        // so the next round starts dealing at the other shard.
+        assert_eq!(s.shard_cursor, 3);
+    }
+
+    #[test]
+    fn sharding_on_a_single_rack_cluster_keeps_the_dense_path() {
+        // Three hosts under the default rack size of 8 realize one shard:
+        // the spec is armed but the round must be bit-identical to an
+        // unsharded scheduler (dense path, cursor untouched).
+        let mut c = cluster(&[HostClass::Medium, HostClass::Fast, HostClass::Slow]);
+        for i in 0..4 {
+            let _ = c.submit_job(job(i, 120, 900));
+        }
+        let mut plain = ScoreScheduler::new(ScoreConfig::full());
+        let mut sharded =
+            ScoreScheduler::new(ScoreConfig::full()).with_shards(ShardSpec::with_count(4));
+        assert_eq!(plain.schedule(&c, &ctx(0)), sharded.schedule(&c, &ctx(0)));
+        assert_eq!(sharded.shard_cursor, 0);
+    }
+
+    #[test]
+    fn shard_cursor_round_trips_through_persist() {
+        let mut s = ScoreScheduler::new(ScoreConfig::sb()).with_shards(ShardSpec {
+            count: 2,
+            rack_size: 2,
+        });
+        s.shard_cursor = 41;
+        let mut w = Writer::new();
+        s.persist_state(&mut w);
+        let bytes = w.into_bytes().unwrap();
+
+        let mut restored = ScoreScheduler::new(ScoreConfig::sb()).with_shards(ShardSpec {
+            count: 2,
+            rack_size: 2,
+        });
+        let mut r = Reader::new(&bytes);
+        restored.restore_state(&mut r).expect("valid payload");
+        r.finish().expect("payload fully consumed");
+        assert_eq!(restored.shard_cursor, 41);
     }
 }

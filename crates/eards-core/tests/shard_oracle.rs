@@ -1,0 +1,180 @@
+//! Differential oracle for the sharded hierarchical solver.
+//!
+//! Two contracts from DESIGN.md §15:
+//!
+//! * **Single-shard identity** — on any instance whose shard map realizes
+//!   one shard, `solve_sharded` is bit-identical to the dense `solve`
+//!   climb (same moves, same order). Pinned here over randomized
+//!   instances, so turning `--shards` on over a small cluster can never
+//!   change a run.
+//! * **Bounded quality loss** — with a real partition the solver trades
+//!   global optimality for locality: it may place a queue column on a
+//!   worse host than the dense climb, but it must still place *as many*
+//!   columns, and the total placement cost must stay within a modest
+//!   factor of the dense solution.
+
+use eards_core::{solve, solve_sharded, DegradeLevel, Eval, ScoreConfig};
+use eards_model::{
+    Cluster, Cpu, HostClass, HostId, HostSpec, Job, JobId, Mem, PowerState, ShardMap,
+};
+use eards_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn t(secs: u64) -> SimTime {
+    SimTime::from_secs(secs)
+}
+
+fn cluster(n: u32) -> Cluster {
+    Cluster::new(
+        (0..n)
+            .map(|i| HostSpec::standard(HostId(i), HostClass::Medium))
+            .collect(),
+        PowerState::On,
+    )
+}
+
+fn job(id: u64, cpu: u32) -> Job {
+    Job::new(
+        JobId(id),
+        SimTime::ZERO,
+        Cpu(cpu),
+        Mem::gib(1),
+        SimDuration::from_secs(7200),
+        1.5,
+    )
+}
+
+/// Builds a cluster with a mix of running and queued VMs from the
+/// generated op list; returns the evaluator columns (running first, then
+/// queued — the scheduler's own column order).
+fn build_instance(hosts: u32, ops: &[(u8, bool)]) -> (Cluster, Vec<eards_model::VmId>) {
+    let mut c = cluster(hosts);
+    let mut running = Vec::new();
+    let mut queued = Vec::new();
+    for (i, &(byte, place)) in ops.iter().enumerate() {
+        let cpu = 100 * (1 + u32::from(byte % 3));
+        let vm = c.submit_job(job(i as u64, cpu));
+        if place {
+            let mut placed = false;
+            for k in 0..hosts {
+                let h = HostId((u32::from(byte) + k) % hosts);
+                if c.can_place(h, vm) {
+                    c.start_creation(vm, h, t(0), t(40));
+                    c.finish_creation(vm, t(40));
+                    placed = true;
+                    break;
+                }
+            }
+            if placed {
+                running.push(vm);
+            } else {
+                queued.push(vm);
+            }
+        } else {
+            queued.push(vm);
+        }
+    }
+    running.extend(queued);
+    (c, running)
+}
+
+fn config_for(pick: u8) -> ScoreConfig {
+    match pick % 4 {
+        0 => ScoreConfig::sb0(),
+        1 => ScoreConfig::sb(),
+        2 => ScoreConfig::sb2(),
+        _ => ScoreConfig::full(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+    /// The single-shard oracle: `solve_sharded` over the trivial map is
+    /// move-for-move identical to the dense climb, whatever the instance
+    /// and penalty set.
+    #[test]
+    fn single_shard_is_bit_identical_to_dense_solve(
+        hosts in 2u32..9,
+        ops in proptest::collection::vec((any::<u8>(), any::<bool>()), 1..14),
+        cfg_pick in any::<u8>(),
+        cap in 1usize..40,
+    ) {
+        let (c, ids) = build_instance(hosts, &ops);
+        let cfg = config_for(cfg_pick);
+        let expected = {
+            let mut eval = Eval::new(&c, &cfg, t(100), ids.clone());
+            solve(&mut eval, cap)
+        };
+        let mut eval = Eval::new(&c, &cfg, t(100), ids);
+        let queued = (0..eval.num_vms())
+            .filter(|&v| eval.original_of(v).is_none())
+            .count() as u64;
+        let map = ShardMap::single(hosts as usize);
+        let out = solve_sharded(&mut eval, &map, 0, cap, u64::MAX, DegradeLevel::L0Full);
+        prop_assert_eq!(&out.solution.moves, &expected.moves,
+            "sharded(1) diverged from dense");
+        prop_assert_eq!(out.solution.hit_move_limit, expected.hit_move_limit);
+        prop_assert!(!out.solution.budget_exhausted);
+        // The cursor advance equals the queue columns dealt, placed or not.
+        prop_assert_eq!(out.creations_assigned, queued);
+    }
+}
+
+/// Bounded quality loss on a real partition: the sharded solver places
+/// exactly as many queue columns as the dense climb on a uniform
+/// cluster with ample capacity, and the total cost of its placements
+/// stays within 25% of the dense solution's.
+#[test]
+fn multi_shard_quality_loss_is_bounded() {
+    let hosts = 32u32;
+    let mut c = cluster(hosts);
+    let ids: Vec<_> = (0..60).map(|i| c.submit_job(job(i, 100))).collect();
+    let cfg = ScoreConfig::sb();
+
+    let mut dense_eval = Eval::new(&c, &cfg, t(0), ids.clone());
+    let dense = solve(&mut dense_eval, 256);
+
+    let mut sharded_eval = Eval::new(&c, &cfg, t(0), ids.clone());
+    let map = ShardMap::build(hosts as usize, 4, 4);
+    assert_eq!(map.num_shards(), 4);
+    let out = solve_sharded(
+        &mut sharded_eval,
+        &map,
+        0,
+        256,
+        u64::MAX,
+        DegradeLevel::L0Full,
+    );
+
+    let placed = |eval: &Eval<'_>| -> (usize, f64) {
+        let mut count = 0;
+        let mut total = 0.0;
+        for v in 0..ids.len() {
+            if eval.placement_of(v).is_some() {
+                count += 1;
+                total += eval.current_cost(v).value();
+            }
+        }
+        (count, total)
+    };
+    let (dense_placed, dense_cost) = placed(&dense_eval);
+    let (sharded_placed, sharded_cost) = placed(&sharded_eval);
+
+    assert_eq!(dense_placed, ids.len(), "dense must place everything");
+    assert_eq!(
+        sharded_placed, dense_placed,
+        "sharded solver dropped columns the dense climb placed"
+    );
+    // Lower is better (cell scores are minimized; good placements go
+    // negative), so the loss is how far sharded sits ABOVE dense,
+    // relative to the dense solution's magnitude. Measured ~5% here;
+    // 25% leaves room for score-model drift without letting a broken
+    // balancer through.
+    let loss = sharded_cost - dense_cost;
+    assert!(
+        loss <= 0.25 * dense_cost.abs() + 1e-9,
+        "quality loss beyond bound: sharded {sharded_cost} vs dense {dense_cost}"
+    );
+    assert!(!out.solution.budget_exhausted);
+    assert_eq!(dense.moves.len(), out.solution.moves.len());
+}

@@ -1,6 +1,6 @@
 //! Run configuration and the paper's reference datacenter.
 
-use eards_model::{FaultPlan, HostClass, HostId, HostSpec};
+use eards_model::{FaultPlan, HostClass, HostId, HostSpec, ShardSpec};
 use eards_obs::Obs;
 use eards_sim::{Persist, PersistError, Reader, SimDuration, Writer};
 
@@ -117,6 +117,13 @@ pub struct RunConfig {
     /// field documents the run; the budget itself is armed on the policy
     /// (see `eards_core::ScoreScheduler::with_overload`).
     pub solver_budget: Option<u64>,
+    /// Shard count requested for the hierarchical solver (`None` or
+    /// `Some(1)` = the dense single-matrix path). Like `solver_budget`
+    /// this field documents the run — the spec itself is armed on the
+    /// policy (see `eards_core::ScoreScheduler::with_shards`) — but the
+    /// runner also reads it to arm the auditor's cross-shard
+    /// conservation check, at construction and again after a restore.
+    pub shards: Option<u32>,
     /// Enable runner backpressure: cap retry backoff growth at
     /// [`RunConfig::park_after`] attempts and park VMs past the cap in a
     /// deterministic queue that re-enters admission when the flapping
@@ -151,6 +158,7 @@ impl Default for RunConfig {
             seed: 0x0EA2D5,
             obs: Obs::disabled(),
             solver_budget: None,
+            shards: None,
             degrade: false,
             park_after: 6,
         }
@@ -193,6 +201,30 @@ impl RunConfig {
         self.solver_budget = Some(budget);
         self.degrade = true;
         self
+    }
+
+    /// Records the sharding request for the hierarchical solver. Arm the
+    /// matching spec on the policy with
+    /// `eards_core::ScoreScheduler::with_shards` — the runner uses this
+    /// field to keep the auditor's cross-shard check in step.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// The shard spec this configuration implies: `Some` only when the
+    /// requested count is ≥ 2, with the rack size taken from the fault
+    /// plan's rack layout (default 8 when no racks are configured) so
+    /// shard boundaries respect the same fault domains the injector
+    /// correlates.
+    pub fn shard_spec(&self) -> Option<ShardSpec> {
+        let count = self.shards.filter(|&n| n >= 2)?;
+        let rack_size = self
+            .faults
+            .rack
+            .as_ref()
+            .map_or(8, |r| r.rack_size.max(1) as u32);
+        Some(ShardSpec { count, rack_size })
     }
 }
 

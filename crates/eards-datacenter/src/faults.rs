@@ -327,7 +327,7 @@ mod tests {
 
         let mut w = Writer::new();
         e.persist(&mut w);
-        let bytes = w.into_bytes();
+        let bytes = w.into_bytes().unwrap();
         let mut r = Reader::new(&bytes);
         let mut restored = FaultEngine::restore(&mut r).unwrap();
         r.finish().unwrap();
@@ -355,7 +355,7 @@ mod tests {
         for _ in 0..6 {
             empty.persist(&mut w);
         }
-        let bytes = w.into_bytes();
+        let bytes = w.into_bytes().unwrap();
         assert!(FaultEngine::restore(&mut Reader::new(&bytes)).is_err());
     }
 

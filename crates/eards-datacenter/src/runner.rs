@@ -24,7 +24,7 @@ use eards_metrics::{
 };
 use eards_model::{
     Action, CalibratedPowerModel, Cluster, HostId, HostSpec, Job, Policy, PowerModel, PowerState,
-    ScheduleContext, ScheduleReason, VmId, VmState,
+    ScheduleContext, ScheduleReason, ShardMap, VmId, VmState,
 };
 use eards_obs::{FaultKind, HistId, Obs, ObsEvent, PowerFlipKind, RecoveryKind};
 use eards_sim::{
@@ -305,6 +305,20 @@ impl Persist for RetryState {
     }
 }
 
+/// The shard map the run configuration implies for a cluster of
+/// `num_hosts` — `None` unless the realized partition has at least two
+/// shards (mirrors the policy-side arming in
+/// `eards_core::ScoreScheduler`, so the auditor checks exactly the
+/// partition the solver uses).
+fn derived_shard_map(cfg: &RunConfig, num_hosts: usize) -> Option<ShardMap> {
+    let spec = cfg.shard_spec()?;
+    if num_hosts == 0 {
+        return None;
+    }
+    let map = ShardMap::build(num_hosts, spec.rack_size, spec.count);
+    (map.num_shards() >= 2).then_some(map)
+}
+
 impl Runner {
     /// Builds a run over `hosts` executing `trace` under `policy`, with
     /// the paper's Table-I power model.
@@ -334,7 +348,8 @@ impl Runner {
         let label = policy.name();
         let rng = SimRng::seed_from_u64(cfg.seed);
         let faults = FaultEngine::new(cfg.faults.clone(), hosts.len(), cfg.seed);
-        let auditor = InvariantAuditor::new(cfg.auditor);
+        let mut auditor = InvariantAuditor::new(cfg.auditor);
+        auditor.set_shard_map(derived_shard_map(&cfg, hosts.len()));
         let crash_counts = vec![0; hosts.len()];
         let obs = cfg.obs.clone();
         let queue_hist = obs.histogram("queue_len", &[1.0, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0]);
@@ -559,7 +574,11 @@ impl Runner {
     /// Serializes the full mid-flight run state. Call at a batch boundary
     /// (between [`Runner::step_batch`] calls); the driver loop never
     /// exposes a half-applied batch.
-    pub fn snapshot(&self) -> Vec<u8> {
+    ///
+    /// Fails only if some sequence outgrew the codec's `u32` length
+    /// prefix ([`PersistError::SequenceTooLong`]) — the writer refuses to
+    /// hand out a malformed snapshot rather than panicking mid-run.
+    pub fn snapshot(&self) -> Result<Vec<u8>, PersistError> {
         let mut w = Writer::new();
         write_header(&mut w);
         self.persist_body(&mut w);
@@ -729,6 +748,11 @@ impl Runner {
         self.parked = Vec::<(VmId, SimTime)>::restore(r)?.into_iter().collect();
         self.vms_parked = r.get_u64()?;
         self.cluster = Cluster::restore(r)?;
+        // The auditor's shard map is derived state, not snapshot payload:
+        // re-arm it from the configuration so a restored run keeps the
+        // cross-shard conservation check.
+        self.auditor
+            .set_shard_map(derived_shard_map(&self.cfg, self.cluster.num_hosts()));
         let mut block = r.get_block()?;
         self.policy.restore_state(&mut block)?;
         block.finish()?;

@@ -48,7 +48,7 @@ fn baseline_snapshot() -> Vec<u8> {
             break;
         }
     }
-    run.snapshot()
+    run.snapshot().unwrap()
 }
 
 /// Restoring must return (Ok or Err), not panic. The world is rebuilt

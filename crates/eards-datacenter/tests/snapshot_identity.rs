@@ -118,7 +118,7 @@ proptest! {
             }
         }
         let ckpt_ms = cut.now().as_millis();
-        let bytes = cut.snapshot();
+        let bytes = cut.snapshot().unwrap();
         drop(cut);
 
         // Resume from bytes alone in a fresh world and drive it to the end.
@@ -187,7 +187,7 @@ proptest! {
             }
         }
         let ckpt_ms = cut.now().as_millis();
-        let bytes = cut.snapshot();
+        let bytes = cut.snapshot().unwrap();
         drop(cut);
 
         let obs_res = Obs::enabled(1 << 16);
@@ -224,7 +224,7 @@ fn restore_rejects_a_mismatched_world() {
     for _ in 0..5 {
         assert!(run.step_batch());
     }
-    let bytes = run.snapshot();
+    let bytes = run.snapshot().unwrap();
 
     // Runner carries trait objects, so no Debug: unwrap errors by hand.
     fn expect_err(r: Result<Runner, eards_sim::PersistError>) -> eards_sim::PersistError {
@@ -274,7 +274,7 @@ fn snapshot_after_completion_resumes_to_the_same_report() {
     let obs = Obs::disabled();
     let mut run = Runner::new(h, t, policy(&obs), config(9, 0.0, &obs));
     while run.step_batch() {}
-    let bytes = run.snapshot();
+    let bytes = run.snapshot().unwrap();
     let (r0, a0) = run.finish();
 
     let (h, t) = world(3, 1, 11);

@@ -32,7 +32,8 @@ pub enum RuleId {
     /// even in the crates D002 allowlists.
     D005,
     /// `unwrap`/`expect`/`panic!`/indexing-by-literal in non-test library
-    /// code of the sim-affecting crates.
+    /// code of the sim-affecting crates, and inside `impl Persist` bodies
+    /// in every crate (a panicking codec loses the run it checkpoints).
     P001,
     /// `as` casts between float and integer in `SimTime`/`SimDuration`
     /// arithmetic: go through the rounding/clamping conversion helpers.
@@ -82,7 +83,10 @@ impl RuleId {
             RuleId::D003 => "ambient randomness instead of a seeded SimRng stream",
             RuleId::D004 => "partial_cmp().unwrap()/expect() on floats; use total_cmp",
             RuleId::D005 => "wall-clock/ambient-randomness API inside an impl Persist block",
-            RuleId::P001 => "panic hazard (unwrap/expect/panic!/literal index) in sim library code",
+            RuleId::P001 => {
+                "panic hazard (unwrap/expect/panic!/literal index) in sim library \
+                 code or an impl Persist body"
+            }
             RuleId::C001 => "raw float<->int `as` cast in SimTime arithmetic",
             RuleId::S001 => "lint:allow marker without the mandatory reason",
         }
@@ -355,23 +359,22 @@ fn d004_partial_cmp_unwrap(f: &SourceFile, out: &mut Vec<Finding>) {
 /// between machines, ambient RNGs reseed per process.
 const D005_FORBIDDEN: &[&str] = &["Instant", "SystemTime", "thread_rng"];
 
-/// D005 — wall-clock or ambient-randomness APIs inside an `impl Persist`
-/// block. A snapshot must restore bit-identically on a different machine
-/// at a different time, so nothing derived from `Instant`, `SystemTime`
-/// or `thread_rng` may flow through `persist`/`restore`. Unlike D002 this
-/// applies in *every* crate: even the clock-allowlisted observability
-/// layer must keep wall time out of its persisted form.
-fn d005_wall_state_in_persist(f: &SourceFile, out: &mut Vec<Finding>) {
+/// Token-index ranges (inclusive, body brace to body brace) of every
+/// `impl … Persist for …` block in the file. Generic bounds like
+/// `impl<T: Persist> Persist for Vec<T>` still qualify: the trait
+/// position is recognized as `Persist` directly followed by `for`.
+/// Shared by D005 (wall state in codecs) and P001 (panic hazards in
+/// codecs outside the sim-affecting crates).
+fn persist_impl_ranges(f: &SourceFile) -> Vec<(usize, usize)> {
     let n = f.code.len();
+    let mut ranges = Vec::new();
     let mut i = 0;
     while i < n {
         if !f.ct_is(i, "impl") {
             i += 1;
             continue;
         }
-        // Scan the impl header up to its body brace; it is a Persist impl
-        // when the trait position reads `… Persist for …` (generic bounds
-        // like `impl<T: Persist> Persist for Vec<T>` still qualify).
+        // Scan the impl header up to its body brace.
         let mut header_end = i + 1;
         let mut is_persist = false;
         while header_end < n && !f.ct_punct(header_end, '{') {
@@ -384,7 +387,7 @@ fn d005_wall_state_in_persist(f: &SourceFile, out: &mut Vec<Finding>) {
             i = header_end + 1;
             continue;
         }
-        // Brace-match the impl body and flag forbidden APIs inside it.
+        // Brace-match the impl body.
         let mut depth = 0usize;
         let mut j = header_end;
         while j < n {
@@ -395,44 +398,77 @@ fn d005_wall_state_in_persist(f: &SourceFile, out: &mut Vec<Finding>) {
                 if depth == 0 {
                     break;
                 }
-            } else if let Some(t) = f.ct(j) {
-                if t.kind == TokenKind::Ident
-                    && D005_FORBIDDEN.contains(&t.text.as_str())
-                    && !f.in_test_code(t.line)
-                {
-                    emit(
-                        f,
-                        out,
-                        RuleId::D005,
-                        t.line,
-                        format!(
-                            "`{}` inside an `impl Persist` block: snapshots must \
-                             restore bit-identically, so persisted state cannot \
-                             come from wall clocks or ambient RNGs",
-                            t.text
-                        ),
-                    );
-                }
             }
             j += 1;
         }
+        ranges.push((header_end, j.min(n - 1)));
         i = j + 1;
+    }
+    ranges
+}
+
+/// D005 — wall-clock or ambient-randomness APIs inside an `impl Persist`
+/// block. A snapshot must restore bit-identically on a different machine
+/// at a different time, so nothing derived from `Instant`, `SystemTime`
+/// or `thread_rng` may flow through `persist`/`restore`. Unlike D002 this
+/// applies in *every* crate: even the clock-allowlisted observability
+/// layer must keep wall time out of its persisted form.
+fn d005_wall_state_in_persist(f: &SourceFile, out: &mut Vec<Finding>) {
+    for (lo, hi) in persist_impl_ranges(f) {
+        for j in lo..=hi {
+            let Some(t) = f.ct(j) else { break };
+            if t.kind == TokenKind::Ident
+                && D005_FORBIDDEN.contains(&t.text.as_str())
+                && !f.in_test_code(t.line)
+            {
+                emit(
+                    f,
+                    out,
+                    RuleId::D005,
+                    t.line,
+                    format!(
+                        "`{}` inside an `impl Persist` block: snapshots must \
+                         restore bit-identically, so persisted state cannot \
+                         come from wall clocks or ambient RNGs",
+                        t.text
+                    ),
+                );
+            }
+        }
     }
 }
 
-/// P001 — panic hazards in non-test library code of sim-affecting crates:
-/// `.unwrap()`, `.expect(..)`, `panic!(..)`, and indexing with an integer
-/// literal (`xs[0]`). A panic mid-simulation corrupts nothing *because* it
+/// P001 — panic hazards in non-test library code: `.unwrap()`,
+/// `.expect(..)`, `panic!(..)`, and indexing with an integer literal
+/// (`xs[0]`). A panic mid-simulation corrupts nothing *because* it
 /// aborts — but a production-scale run losing hours to a recoverable edge
 /// is exactly what ROADMAP's north star forbids.
+///
+/// Scope: the whole file in sim-affecting crates; elsewhere only the
+/// bodies of `impl Persist` blocks. A panicking codec turns a routine
+/// snapshot write into a lost run no matter which crate hosts it (the
+/// `put_len` overflow panic lived exactly there), so codec bodies are
+/// held to the sim-crate standard everywhere.
 fn p001_panic_hazards(f: &SourceFile, out: &mut Vec<Finding>) {
-    if !f.is_sim_affecting() {
+    let sim = f.is_sim_affecting();
+    let persist_ranges = if sim {
+        Vec::new()
+    } else {
+        persist_impl_ranges(f)
+    };
+    if !sim && persist_ranges.is_empty() {
         return;
     }
+    let in_scope = |i: usize| sim || persist_ranges.iter().any(|&(lo, hi)| lo <= i && i <= hi);
+    let context = if sim {
+        "sim library code"
+    } else {
+        "an impl Persist body"
+    };
     let n = f.code.len();
     for i in 0..n {
         let Some(t) = f.ct(i) else { break };
-        if f.in_test_code(t.line) {
+        if f.in_test_code(t.line) || !in_scope(i) {
             continue;
         }
         // .unwrap() / .expect(
@@ -447,7 +483,7 @@ fn p001_panic_hazards(f: &SourceFile, out: &mut Vec<Finding>) {
                 RuleId::P001,
                 t.line,
                 format!(
-                    "`.{}(..)` in sim library code: return or propagate instead",
+                    "`.{}(..)` in {context}: return or propagate instead",
                     t.text
                 ),
             );
@@ -459,7 +495,7 @@ fn p001_panic_hazards(f: &SourceFile, out: &mut Vec<Finding>) {
                 out,
                 RuleId::P001,
                 t.line,
-                "`panic!` in sim library code: return an error instead".into(),
+                format!("`panic!` in {context}: return an error instead"),
             );
         }
         // xs[0] — literal index on an expression (ident or closing

@@ -194,6 +194,49 @@ fn p001_skips_integration_test_paths() {
 }
 
 #[test]
+fn p001_persist_bodies_fire_outside_sim_crates() {
+    // eards-metrics is not sim-affecting, so whole-file P001 is off —
+    // but the `impl Persist` body is still held to the codec standard.
+    expect(
+        "crates/eards-metrics/src/fixture.rs",
+        include_str!("../fixtures/p001_persist_pos.rs"),
+        &[
+            (RuleId::P001, 8),
+            (RuleId::P001, 10),
+            (RuleId::P001, 14),
+            (RuleId::P001, 16),
+        ],
+    );
+}
+
+#[test]
+fn p001_persist_positive_draws_more_in_sim_crates() {
+    // The same source in a sim crate is whole-file scope: every hazard
+    // fires, codec or not (superset of the non-sim findings).
+    let got = run(SIM, include_str!("../fixtures/p001_persist_pos.rs"));
+    assert_eq!(
+        got,
+        &[
+            (RuleId::P001, 8),
+            (RuleId::P001, 10),
+            (RuleId::P001, 14),
+            (RuleId::P001, 16),
+        ]
+    );
+}
+
+#[test]
+fn p001_persist_negative() {
+    // Clean codec + panicking non-codec code in a non-sim crate: no
+    // findings (the unwrap outside the impl is out of scope there).
+    expect(
+        "crates/eards-metrics/src/fixture.rs",
+        include_str!("../fixtures/p001_persist_neg.rs"),
+        &[],
+    );
+}
+
+#[test]
 fn c001_positive() {
     expect(
         SIM,

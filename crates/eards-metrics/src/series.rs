@@ -240,7 +240,11 @@ impl Persist for TimeSeries {
     }
     fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
         let points: Vec<SeriesPoint> = Vec::restore(r)?;
-        if points.windows(2).any(|p| p[1].at < p[0].at) {
+        let out_of_order = points
+            .iter()
+            .zip(points.iter().skip(1))
+            .any(|(a, b)| b.at < a.at);
+        if out_of_order {
             return Err(PersistError::Corrupt("time series out of order".into()));
         }
         Ok(TimeSeries { points })

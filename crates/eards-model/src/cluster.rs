@@ -943,7 +943,7 @@ mod tests {
 
         let mut w = Writer::new();
         c.persist(&mut w);
-        let bytes = w.into_bytes();
+        let bytes = w.into_bytes().unwrap();
         let mut r = Reader::new(&bytes);
         let restored = Cluster::restore(&mut r).unwrap();
         r.finish().unwrap();
@@ -952,7 +952,7 @@ mod tests {
         // the snapshot is a fixed point.
         let mut w2 = Writer::new();
         restored.persist(&mut w2);
-        assert_eq!(bytes, w2.into_bytes());
+        assert_eq!(bytes, w2.into_bytes().unwrap());
 
         // Spot checks: placements, queue order, counters, fault multipliers.
         assert_eq!(restored.queue(), c.queue());
@@ -989,7 +989,7 @@ mod tests {
         c.start_creation(vm, HostId(0), t(0), t(40));
         let mut w = Writer::new();
         c.persist(&mut w);
-        let good = w.into_bytes();
+        let good = w.into_bytes().unwrap();
         assert!(Cluster::restore(&mut Reader::new(&good)).is_ok());
 
         // Truncation is an error, not a partial world.

@@ -28,6 +28,7 @@ mod ids;
 mod job;
 mod policy;
 mod power;
+mod shard;
 mod units;
 mod vm;
 pub mod xen;
@@ -43,6 +44,7 @@ pub use policy::{Action, DegradeStats, Policy, ScheduleContext, ScheduleReason};
 pub use power::{
     CalibratedPowerModel, ConstantPowerModel, DvfsPowerModel, EnergyProportionalModel, PowerModel,
 };
+pub use shard::{ShardMap, ShardSpec};
 pub use units::{Cpu, Mem, Resources};
 pub use vm::{Vm, VmState, MIGRATION_SLOWDOWN};
 

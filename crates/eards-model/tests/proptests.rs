@@ -7,9 +7,9 @@ use proptest::prelude::*;
 use eards_model::xen::{allocate, CpuContender};
 use eards_model::{
     CalibratedPowerModel, Cluster, Cpu, HostClass, HostId, HostSpec, Job, JobId, Mem, PowerModel,
-    PowerState, Resources, VmState,
+    PowerState, Resources, ShardMap, VmState,
 };
-use eards_sim::{SimDuration, SimTime};
+use eards_sim::{Persist, Reader, SimDuration, SimTime, Writer};
 
 fn contender_strategy() -> impl Strategy<Value = CpuContender> {
     (0.0f64..500.0, 1.0f64..1024.0, 0.0f64..500.0).prop_map(|(demand, weight, cap)| CpuContender {
@@ -75,6 +75,45 @@ proptest! {
         if cpu_a <= cpu_b {
             prop_assert!(pa <= pb + 1e-12);
         }
+    }
+
+    /// The shard map is a true partition of the host-id space, for every
+    /// `(num_hosts, rack_size, shards)` triple: deterministic, every host
+    /// in exactly one shard, internal boundaries rack-aligned, and stable
+    /// through its `Persist` round trip (snapshot/restore cannot change
+    /// which shard owns a host).
+    #[test]
+    fn shard_map_is_a_true_partition(
+        num_hosts in 1usize..3000,
+        rack_size in 1u32..33,
+        shards in 0u32..64,
+    ) {
+        let m = ShardMap::build(num_hosts, rack_size, shards);
+        // Pure integer function of its inputs: rebuilding is bit-equal.
+        prop_assert_eq!(&ShardMap::build(num_hosts, rack_size, shards), &m);
+        prop_assert!(m.verify(num_hosts).is_ok());
+        let mut seen = vec![0u32; num_hosts];
+        for s in 0..m.num_shards() {
+            prop_assert_eq!(
+                m.hosts(s).start % rack_size as usize, 0,
+                "shard {} starts mid-rack at {}", s, m.hosts(s).start
+            );
+            for h in m.hosts(s) {
+                seen[h] += 1;
+                prop_assert_eq!(m.shard_of(h), s);
+            }
+        }
+        prop_assert!(
+            seen.iter().all(|&c| c == 1),
+            "{}h/{}rs/{}s is not a partition: {:?}", num_hosts, rack_size, shards, seen
+        );
+        let mut w = Writer::default();
+        m.persist(&mut w);
+        let bytes = w.into_bytes().expect("boundary vector fits any length budget");
+        let mut r = Reader::new(&bytes);
+        let back = ShardMap::restore(&mut r).expect("round trip");
+        r.finish().expect("fully consumed");
+        prop_assert_eq!(back, m);
     }
 
     /// Occupation is the max over per-resource utilizations, scale-free.

@@ -249,7 +249,7 @@ mod tests {
 
         let mut w = Writer::new();
         sim.persist(&mut w);
-        let bytes = w.into_bytes();
+        let bytes = w.into_bytes().unwrap();
         let mut r = Reader::new(&bytes);
         let mut restored: Simulator<Ev> = Simulator::restore(&mut r).unwrap();
         r.finish().unwrap();

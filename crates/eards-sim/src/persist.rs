@@ -38,7 +38,11 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"EARDSNAP";
 /// ladder driver state (rung tag + work EWMA + exhaustion flag), and the
 /// runner grew the backpressure `parked` queue — v1 snapshots no longer
 /// decode and are rejected cleanly here instead of mis-parsing.
-pub const SNAPSHOT_VERSION: u8 = 2;
+///
+/// v3: the score-based scheduler's policy block gained the shard
+/// round-robin cursor (the queue-assignment state of the sharded
+/// hierarchical solver), so v2 policy blocks no longer decode.
+pub const SNAPSHOT_VERSION: u8 = 3;
 
 /// A type whose canonical state can be written to and rebuilt from the
 /// snapshot codec.
@@ -73,6 +77,11 @@ pub enum PersistError {
     Corrupt(String),
     /// Decoding finished with unread bytes left over.
     TrailingBytes(usize),
+    /// A sequence was too long for its `u32` length prefix. Raised on the
+    /// *encoding* side: the [`Writer`] records it and
+    /// [`Writer::into_bytes`] surfaces it instead of emitting a snapshot
+    /// with a silently wrong length.
+    SequenceTooLong(usize),
 }
 
 impl fmt::Display for PersistError {
@@ -95,6 +104,9 @@ impl fmt::Display for PersistError {
             PersistError::TrailingBytes(n) => {
                 write!(f, "snapshot has {n} trailing bytes after the last field")
             }
+            PersistError::SequenceTooLong(n) => {
+                write!(f, "sequence of {n} entries exceeds the u32 length prefix")
+            }
         }
     }
 }
@@ -102,20 +114,38 @@ impl fmt::Display for PersistError {
 impl std::error::Error for PersistError {}
 
 /// Append-only encoder for the snapshot codec.
+///
+/// Encoding itself is infallible (`Persist::persist` takes no `Result`),
+/// but a pathological input — a sequence longer than the `u32` length
+/// prefix can express — must not produce a silently corrupt snapshot.
+/// The writer therefore records the first such error *stickily* and
+/// [`Writer::into_bytes`] refuses to hand out the bytes, so every
+/// snapshot that reaches disk or a restore path is well-formed.
 #[derive(Default)]
 pub struct Writer {
     buf: Vec<u8>,
+    err: Option<PersistError>,
 }
 
 impl Writer {
     /// Creates an empty writer.
     pub fn new() -> Self {
-        Writer { buf: Vec::new() }
+        Writer::default()
     }
 
-    /// Consumes the writer, returning the encoded bytes.
-    pub fn into_bytes(self) -> Vec<u8> {
-        self.buf
+    /// Consumes the writer, returning the encoded bytes — or the first
+    /// encoding error recorded by a `put_*` call, in which case the
+    /// (corrupt) bytes are discarded.
+    pub fn into_bytes(self) -> Result<Vec<u8>, PersistError> {
+        match self.err {
+            Some(e) => Err(e),
+            None => Ok(self.buf),
+        }
+    }
+
+    /// The first encoding error recorded so far, if any.
+    pub fn error(&self) -> Option<&PersistError> {
+        self.err.as_ref()
     }
 
     /// Number of bytes written so far.
@@ -166,13 +196,22 @@ impl Writer {
 
     /// Writes a sequence length prefix (`u32`).
     ///
-    /// # Panics
-    /// Panics if `n` exceeds `u32::MAX` — no snapshot in this workspace
-    /// comes within orders of magnitude of that.
+    /// If `n` exceeds `u32::MAX` the writer records a
+    /// [`PersistError::SequenceTooLong`] (first error wins) and encodes a
+    /// zero prefix; [`Writer::into_bytes`] will then return the error
+    /// instead of the bytes, so the malformed snapshot never escapes.
     pub fn put_len(&mut self, n: usize) {
-        // lint:allow(P001): documented panic; real sequences are ≪ u32::MAX
-        let n = u32::try_from(n).expect("snapshot sequence longer than u32::MAX");
-        self.put_u32(n);
+        match u32::try_from(n) {
+            Ok(n) => self.put_u32(n),
+            Err(_) => {
+                if self.err.is_none() {
+                    self.err = Some(PersistError::SequenceTooLong(n));
+                }
+                // Placeholder so the buffer stays structurally aligned for
+                // any further writes; the bytes are discarded anyway.
+                self.put_u32(0);
+            }
+        }
     }
 
     /// Writes a length-prefixed sequence of [`Persist`] values.
@@ -200,6 +239,11 @@ impl Writer {
     pub fn put_block(&mut self, f: impl FnOnce(&mut Writer)) {
         let mut inner = Writer::new();
         f(&mut inner);
+        // An error recorded inside the block is as fatal as one outside:
+        // propagate it to this writer (first error wins).
+        if self.err.is_none() {
+            self.err = inner.err.take();
+        }
         self.put_len(inner.buf.len());
         self.buf.extend_from_slice(&inner.buf);
     }
@@ -481,7 +525,7 @@ mod tests {
         w.put_bool(true);
         w.put_str("héllo");
         SimTime::from_millis(123_456).persist(&mut w);
-        let bytes = w.into_bytes();
+        let bytes = w.into_bytes().unwrap();
         let mut r = Reader::new(&bytes);
         assert_eq!(r.get_u8().unwrap(), 0xAB);
         assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
@@ -504,7 +548,7 @@ mod tests {
         w.put_opt(&Some(7.5f64));
         w.put_opt::<u32>(&None);
         w.put_block(|w| w.put_str("nested"));
-        let bytes = w.into_bytes();
+        let bytes = w.into_bytes().unwrap();
         let mut r = Reader::new(&bytes);
         assert_eq!(r.get_seq::<u64>().unwrap(), vec![1, 2, 3]);
         assert_eq!(r.get_opt::<f64>().unwrap(), Some(7.5));
@@ -519,7 +563,7 @@ mod tests {
     fn header_round_trip_and_rejections() {
         let mut w = Writer::new();
         write_header(&mut w);
-        let good = w.into_bytes();
+        let good = w.into_bytes().unwrap();
         assert_eq!(
             read_header(&mut Reader::new(&good)).unwrap(),
             SNAPSHOT_VERSION
@@ -545,7 +589,7 @@ mod tests {
     fn truncation_and_trailing_bytes_are_errors() {
         let mut w = Writer::new();
         w.put_u64(42);
-        let bytes = w.into_bytes();
+        let bytes = w.into_bytes().unwrap();
         let mut short = Reader::new(&bytes[..5]);
         assert_eq!(
             short.get_u64(),
@@ -565,7 +609,7 @@ mod tests {
         // instead of allocating.
         let mut w = Writer::new();
         w.put_u32(1_000_000);
-        let bytes = w.into_bytes();
+        let bytes = w.into_bytes().unwrap();
         let mut r = Reader::new(&bytes);
         assert!(matches!(r.get_seq::<u64>(), Err(PersistError::Corrupt(_))));
     }
@@ -574,5 +618,35 @@ mod tests {
     fn invalid_bool_is_corrupt() {
         let mut r = Reader::new(&[2]);
         assert!(matches!(r.get_bool(), Err(PersistError::Corrupt(_))));
+    }
+
+    #[test]
+    fn oversized_sequence_is_a_sticky_error_not_a_panic() {
+        let too_long = u32::MAX as usize + 1;
+        let mut w = Writer::new();
+        w.put_len(too_long);
+        // Writes after the failure still land; the error sticks.
+        w.put_u64(42);
+        assert_eq!(w.error(), Some(&PersistError::SequenceTooLong(too_long)));
+        assert_eq!(w.into_bytes(), Err(PersistError::SequenceTooLong(too_long)));
+    }
+
+    #[test]
+    fn block_errors_propagate_to_the_outer_writer() {
+        let mut w = Writer::new();
+        w.put_block(|inner| inner.put_len(u32::MAX as usize + 7));
+        assert_eq!(
+            w.into_bytes(),
+            Err(PersistError::SequenceTooLong(u32::MAX as usize + 7))
+        );
+
+        // First error wins over a later one in a block.
+        let mut w = Writer::new();
+        w.put_len(u32::MAX as usize + 1);
+        w.put_block(|inner| inner.put_len(u32::MAX as usize + 2));
+        assert_eq!(
+            w.into_bytes(),
+            Err(PersistError::SequenceTooLong(u32::MAX as usize + 1))
+        );
     }
 }

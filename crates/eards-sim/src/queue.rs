@@ -282,7 +282,7 @@ mod tests {
 
         let mut w = crate::persist::Writer::new();
         q.persist(&mut w);
-        let bytes = w.into_bytes();
+        let bytes = w.into_bytes().unwrap();
         let mut r = crate::persist::Reader::new(&bytes);
         let mut restored: EventQueue<u64> = EventQueue::restore(&mut r).unwrap();
         r.finish().unwrap();

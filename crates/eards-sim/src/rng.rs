@@ -345,7 +345,7 @@ mod tests {
         }
         let mut w = Writer::new();
         rng.persist(&mut w);
-        let bytes = w.into_bytes();
+        let bytes = w.into_bytes().unwrap();
         let mut r = Reader::new(&bytes);
         let mut restored = SimRng::restore(&mut r).unwrap();
         r.finish().unwrap();

@@ -561,7 +561,7 @@ mod tests {
     fn round_trip<E: Persist + Clone>(q: &WheelQueue<E>) -> WheelQueue<E> {
         let mut w = Writer::new();
         q.persist(&mut w);
-        let bytes = w.into_bytes();
+        let bytes = w.into_bytes().unwrap();
         let mut r = Reader::new(&bytes);
         let restored = WheelQueue::restore(&mut r).unwrap();
         r.finish().unwrap();

@@ -60,13 +60,38 @@ pub struct Bencher {
 
 impl Bencher {
     /// Times `routine`, storing the mean per-iteration duration.
+    ///
+    /// Two phases. *Warmup* runs untimed batches for a slice of the
+    /// budget, refining a per-iteration estimate while caches, branch
+    /// predictors and the allocator settle — a single warmup call (the
+    /// previous scheme) left the first measured batches cold, which was
+    /// enough to invert adjacent points of a parameter sweep whose true
+    /// difference is a few percent. *Measurement* then runs fixed-size
+    /// batches (sized from the warmed estimate) so every recorded batch
+    /// has the same shape; the mean is taken over those alone.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        // Warmup: one call, and size the first batch from it.
         let t0 = Instant::now();
         black_box(routine());
-        let first = t0.elapsed().max(Duration::from_nanos(20));
-        let mut batch = (Duration::from_millis(2).as_nanos() / first.as_nanos()).max(1) as u64;
+        let mut per_iter = t0.elapsed().max(Duration::from_nanos(20));
 
+        // Warmup: at least 20 ms or a fifth of the budget, whichever is
+        // larger, in ~5 ms batches that keep refining the estimate.
+        let warmup = (self.budget / 5).max(Duration::from_millis(20));
+        let mut warm_spent = per_iter;
+        while warm_spent < warmup {
+            let batch =
+                (Duration::from_millis(5).as_nanos() / per_iter.as_nanos()).clamp(1, 1 << 20);
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            warm_spent += elapsed;
+            per_iter = (elapsed / batch as u32).max(Duration::from_nanos(20));
+        }
+
+        // Measurement: identical ~10 ms batches until the budget is spent.
+        let batch = (Duration::from_millis(10).as_nanos() / per_iter.as_nanos()).clamp(1, 1 << 20);
         let mut total = Duration::ZERO;
         let mut iters = 0u64;
         while total < self.budget {
@@ -75,8 +100,7 @@ impl Bencher {
                 black_box(routine());
             }
             total += t.elapsed();
-            iters += batch;
-            batch = batch.saturating_mul(2).min(1 << 20);
+            iters += batch as u64;
         }
         self.mean_secs = total.as_secs_f64() / iters as f64;
         self.iters_done = iters;
