@@ -137,7 +137,12 @@ impl DegradeLevel {
 
 impl Persist for DegradeLevel {
     fn persist(&self, w: &mut Writer) {
-        w.put_u8(*self as u8);
+        w.put_u8(match self {
+            DegradeLevel::L0Full => 0,
+            DegradeLevel::L1QueueOnly => 1,
+            DegradeLevel::L2Greedy => 2,
+            DegradeLevel::L3Defer => 3,
+        });
     }
 
     fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {

@@ -40,7 +40,7 @@ pub struct InvariantAuditor {
     checks: u64,
     violations: u64,
     messages: Vec<String>,
-    // lint:allow(D001): duplicate-detection via insert() only, never iterated
+    // lint:allow(D001): duplicate-detection via insert() only, never iterated. lint:allow(SNAP001): per-pass scratch, cleared before every use
     seen: HashSet<VmId>,
     /// Rack-aligned partition to validate when the policy runs the
     /// sharded solver: the light pass additionally checks that the map
@@ -48,8 +48,10 @@ pub struct InvariantAuditor {
     /// counts sum to the global placed count (no VM slips between
     /// shards). Not persisted — the runner re-derives it from the run
     /// configuration after a restore.
+    // lint:allow(SNAP001): re-armed by the runner via set_shard_map after restore
     shard_map: Option<ShardMap>,
     /// Per-shard resident counters, recycled across light passes.
+    // lint:allow(SNAP001): scratch buffer, resized on first use after restore
     shard_scratch: Vec<u64>,
 }
 
@@ -99,6 +101,7 @@ impl InvariantAuditor {
     pub fn report(&mut self, at: SimTime, msg: String) {
         let msg = format!("[{at}] {msg}");
         if self.mode == AuditorMode::Strict {
+            // lint:allow(P001): strict mode exists to abort on the first violation; counting mode is the panic-free path
             panic!("invariant violated: {msg}");
         }
         self.violations += 1;

@@ -1,0 +1,15 @@
+// S002 negative: every allow covers a live raw finding (the marker on
+// the map field suppresses a real D001), and markers inside test code
+// are exempt — rules skip test lines, so allows there are documentation.
+use std::collections::HashMap;
+
+pub struct State {
+    // lint:allow(D001): keyed lookups only, never iterated
+    pub index: HashMap<u32, u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    // lint:allow(D004): in-test marker, exempt from staleness checks
+    fn helper() {}
+}

@@ -1,0 +1,11 @@
+// S002 positive: well-formed allows whose rules fire nothing on the
+// lines they cover — dead markers left behind by a long-gone fix.
+// lint:allow(D004): the comparator below was rewritten with total_cmp
+pub fn compare(a: f64, b: f64) -> std::cmp::Ordering {
+    a.total_cmp(&b)
+}
+
+pub struct Plain {
+    // lint:allow(D001): this field stopped being a map two refactors ago
+    pub xs: Vec<u64>,
+}

@@ -48,8 +48,8 @@ impl Baseline {
             if let Some((rule, path, count)) = cur.take() {
                 match (rule, path, count) {
                     (Some(r), Some(p), Some(c)) => {
-                        if r == RuleId::S001 {
-                            return Err("S001 findings cannot be baselined".into());
+                        if !r.baselineable() {
+                            return Err(format!("{} findings cannot be baselined", r.name()));
                         }
                         entries.insert((r, p), c);
                         Ok(())
@@ -97,12 +97,12 @@ impl Baseline {
         Ok(Baseline { entries })
     }
 
-    /// Renders a baseline grandfathering exactly `findings` (S001
-    /// excluded — those are never tolerated).
+    /// Renders a baseline grandfathering exactly `findings` (the
+    /// suppression-hygiene rules S001/S002 excluded — never tolerated).
     pub fn render(findings: &[Finding]) -> String {
         let mut counts: BTreeMap<(RuleId, &str), usize> = BTreeMap::new();
         for f in findings {
-            if f.rule == RuleId::S001 {
+            if !f.rule.baselineable() {
                 continue;
             }
             *counts.entry((f.rule, f.path.as_str())).or_insert(0) += 1;
@@ -137,7 +137,7 @@ impl Baseline {
         let mut out = BaselineOutcome::default();
         let mut seen_keys: Vec<(RuleId, String)> = Vec::new();
         for (key, group) in groups {
-            let allowed = if key.0 == RuleId::S001 {
+            let allowed = if !key.0.baselineable() {
                 0
             } else {
                 self.entries.get(&key).copied().unwrap_or(0)
@@ -238,15 +238,19 @@ mod tests {
     }
 
     #[test]
-    fn s001_is_never_baselined() {
-        assert!(
-            Baseline::parse("[[allow]]\nrule = \"S001\"\npath = \"x.rs\"\ncount = 1\n").is_err()
-        );
-        let b = Baseline::default();
-        let out = b.apply(vec![finding(RuleId::S001, "x.rs", 1)]);
-        assert_eq!(out.new.len(), 1);
-        // And render() refuses to write them.
-        assert!(!Baseline::render(&[finding(RuleId::S001, "x.rs", 1)]).contains("S001"));
+    fn suppression_hygiene_rules_are_never_baselined() {
+        for rule in [RuleId::S001, RuleId::S002] {
+            let toml = format!(
+                "[[allow]]\nrule = \"{}\"\npath = \"x.rs\"\ncount = 1\n",
+                rule.name()
+            );
+            assert!(Baseline::parse(&toml).is_err(), "{rule:?} must not parse");
+            let b = Baseline::default();
+            let out = b.apply(vec![finding(rule, "x.rs", 1)]);
+            assert_eq!(out.new.len(), 1, "{rule:?} is always new");
+            // And render() refuses to write them.
+            assert!(!Baseline::render(&[finding(rule, "x.rs", 1)]).contains(rule.name()));
+        }
     }
 
     #[test]

@@ -529,6 +529,48 @@ mod tests {
     }
 
     #[test]
+    fn shift_operators_are_single_char_puncts() {
+        // The item parser's angle-depth tracker counts `<`/`>` one
+        // character at a time, so `>>` closing two generic lists (or a
+        // shift in a const expression) must never lex as one token.
+        for src in [
+            "Vec<Vec<u32>>",
+            "a >> b",
+            "a << b",
+            "HashMap<u32, Vec<Vec<u8>>>",
+        ] {
+            let ts = kinds(src);
+            assert!(
+                ts.iter()
+                    .filter(|(k, _)| *k == TokenKind::Punct)
+                    .all(|(_, s)| s.len() == 1),
+                "{src:?} must lex punctuation one char at a time: {ts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn raw_strings_spanning_lines_keep_line_numbers() {
+        let ts = lex("a\nr#\"x\ny \" z\"# b");
+        let b = ts.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3, "tokens after a multiline raw string");
+        let lit = ts.iter().find(|t| t.kind == TokenKind::Literal).unwrap();
+        assert_eq!(lit.line, 2, "the literal starts on its opening line");
+    }
+
+    #[test]
+    fn raw_string_hash_runs_shorter_than_the_delimiter_stay_inside() {
+        // `"#` and `"` inside an `##`-delimited raw string are content;
+        // only `"##` closes. The lexer must resume counting from scratch
+        // after each shorter run.
+        let src = r####"r##"a "# b " c "## after"####;
+        let ts = kinds(src);
+        assert_eq!(ts[0].0, TokenKind::Literal);
+        assert_eq!(ts[0].1, r####"r##"a "# b " c "##"####);
+        assert_eq!(ts[1], (TokenKind::Ident, "after".to_string()));
+    }
+
+    #[test]
     fn unterminated_input_is_total() {
         // Never panic, whatever the input.
         lex("/* unterminated");

@@ -18,6 +18,7 @@
 //! findings on the comment's own line (trailing form) and on the line
 //! directly below it (line-above form).
 
+use crate::items::{parse_items, Items};
 use crate::lexer::{lex, Token, TokenKind};
 use crate::rules::RuleId;
 
@@ -75,6 +76,8 @@ pub struct SourceFile {
     pub suppressions: Vec<Suppression>,
     /// Lines holding a malformed (reasonless) `lint:allow`.
     pub malformed_suppressions: Vec<u32>,
+    /// Item skeletons (structs, enums, impls) — see [`crate::items`].
+    pub items: Items,
 }
 
 impl SourceFile {
@@ -99,6 +102,7 @@ impl SourceFile {
             map_field_decls: Vec::new(),
             suppressions: Vec::new(),
             malformed_suppressions: Vec::new(),
+            items: Items::default(),
         };
         if is_test_path(path) {
             f.test_ranges.push((0, u32::MAX));
@@ -107,6 +111,8 @@ impl SourceFile {
         }
         f.find_map_bindings();
         f.find_suppressions();
+        let items = parse_items(&f);
+        f.items = items;
         f
     }
 
@@ -474,6 +480,30 @@ y: HashMap<u32, u32>, // lint:allow(D001): trailing form
             );
             assert!(f.suppressions.is_empty(), "{bad:?} must not suppress");
         }
+    }
+
+    #[test]
+    fn suppressions_in_string_literals_are_inert() {
+        // A raw string *describing* the marker syntax (e.g. in generated
+        // docs or fixture text) must neither suppress nor malform.
+        let src = "let s = r#\"use // lint:allow(D001): reason to suppress\"#;\n\
+                   let t = \"lint:allow(P001)\";\n";
+        let f = SourceFile::parse("crates/eards-sim/src/x.rs", src);
+        assert!(f.suppressions.is_empty());
+        assert!(f.malformed_suppressions.is_empty());
+    }
+
+    #[test]
+    fn one_comment_can_carry_markers_for_several_rules() {
+        // Both markers cover the comment's line and the line below — the
+        // one-line form is how a field under two rules stays covered.
+        let src = "// lint:allow(D001): lookups only. lint:allow(SNAP001): rebuilt on restore\n\
+                   m: HashMap<u32, u32>,\n";
+        let f = SourceFile::parse("crates/eards-sim/src/x.rs", src);
+        assert_eq!(f.suppressions.len(), 2);
+        assert!(f.suppressed(RuleId::D001, 2));
+        assert!(f.suppressed(RuleId::SNAP001, 2));
+        assert!(f.malformed_suppressions.is_empty());
     }
 
     #[test]

@@ -265,3 +265,83 @@ fn s001_positive() {
 fn s001_negative() {
     expect(SIM, include_str!("../fixtures/s001_neg.rs"), &[]);
 }
+
+#[test]
+fn snap001_positive() {
+    // `skew` write-only (line 7), `drift` read-only (line 8), `label`
+    // in neither direction (line 9); `ticks` is covered and silent.
+    expect(
+        SIM,
+        include_str!("../fixtures/snap001_pos.rs"),
+        &[
+            (RuleId::SNAP001, 7),
+            (RuleId::SNAP001, 8),
+            (RuleId::SNAP001, 9),
+        ],
+    );
+}
+
+#[test]
+fn snap001_fires_in_every_crate() {
+    // Unlike P001, the Persist coverage rules have no crate scoping: a
+    // codec that drops fields is wrong wherever it lives.
+    let got = run(
+        "crates/eards-metrics/src/fixture.rs",
+        include_str!("../fixtures/snap001_pos.rs"),
+    );
+    assert_eq!(
+        got,
+        &[
+            (RuleId::SNAP001, 7),
+            (RuleId::SNAP001, 8),
+            (RuleId::SNAP001, 9),
+        ]
+    );
+}
+
+#[test]
+fn snap001_negative() {
+    expect(SIM, include_str!("../fixtures/snap001_neg.rs"), &[]);
+}
+
+#[test]
+fn snap002_positive() {
+    // `Draining` has a write arm but no read arm (line 8); `Halted` has
+    // neither (line 9).
+    expect(
+        SIM,
+        include_str!("../fixtures/snap002_pos.rs"),
+        &[(RuleId::SNAP002, 8), (RuleId::SNAP002, 9)],
+    );
+}
+
+#[test]
+fn snap002_negative() {
+    expect(SIM, include_str!("../fixtures/snap002_neg.rs"), &[]);
+}
+
+#[test]
+fn s002_positive() {
+    expect(
+        SIM,
+        include_str!("../fixtures/s002_pos.rs"),
+        &[(RuleId::S002, 3), (RuleId::S002, 9)],
+    );
+}
+
+#[test]
+fn s002_negative() {
+    expect(SIM, include_str!("../fixtures/s002_neg.rs"), &[]);
+}
+
+#[test]
+fn s002_flags_live_allows_whose_rule_is_out_of_scope_here() {
+    // The d001_neg fixture's allows cover real D001 findings in a
+    // sim-affecting crate — but lint the same file under a non-sim path
+    // and D001 never fires, so the same markers are now dead weight.
+    let got = run(
+        "crates/eards-metrics/src/fixture.rs",
+        include_str!("../fixtures/s002_neg.rs"),
+    );
+    assert_eq!(got, &[(RuleId::S002, 7)]);
+}

@@ -407,6 +407,7 @@ impl Cluster {
         let v = self.vms.get_mut(&vm).expect("unknown VmId");
         let to = match v.state {
             VmState::Migrating { to } => to,
+            // lint:allow(P001): state-machine misuse is a caller bug; failing loud beats silently corrupting placement
             s => panic!("finish_migration on VM in state {s:?}"),
         };
         let from = v.host.expect("migrating VM must have a source");
@@ -432,6 +433,7 @@ impl Cluster {
         let v = self.vms.get_mut(&vm).expect("unknown VmId");
         let to = match v.state {
             VmState::Migrating { to } => to,
+            // lint:allow(P001): state-machine misuse is a caller bug; failing loud beats silently corrupting placement
             s => panic!("abort_migration on VM in state {s:?}"),
         };
         let from = v.host.expect("migrating VM must have a source");
@@ -686,6 +688,7 @@ impl Cluster {
     /// [`Cluster::verify`] and panics on the first violation.
     pub fn check_invariants(&self) {
         if let Err(msg) = self.verify() {
+            // lint:allow(P001): the whole point of this helper is to abort the test run on a violated invariant
             panic!("cluster invariant violated: {msg}");
         }
     }

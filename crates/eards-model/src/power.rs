@@ -47,9 +47,13 @@ impl CalibratedPowerModel {
     /// in CPU, or the first point is not at 0 CPU.
     pub fn new(points: Vec<(f64, f64)>, calibrated_capacity: Cpu) -> Self {
         assert!(points.len() >= 2, "need at least idle + one load point");
-        assert_eq!(points[0].0, 0.0, "first calibration point must be idle");
-        for w in points.windows(2) {
-            assert!(w[0].0 < w[1].0, "calibration points must increase in CPU");
+        assert_eq!(
+            points.first().map(|p| p.0),
+            Some(0.0),
+            "first calibration point must be idle"
+        );
+        for (a, b) in points.iter().zip(points.iter().skip(1)) {
+            assert!(a.0 < b.0, "calibration points must increase in CPU");
         }
         CalibratedPowerModel {
             points,
@@ -87,17 +91,17 @@ impl PowerModel for CalibratedPowerModel {
         } else {
             capacity.as_f64() / self.calibrated_capacity.as_f64()
         };
-        let x = (cpu_used / scale.max(f64::MIN_POSITIVE)).clamp(
-            0.0,
-            self.points.last().expect("non-empty by construction").0,
-        );
+        // `new` guarantees ≥2 points; the map_or fallbacks are unreachable
+        // but keep every path total.
+        let top = self.points.last().map_or(0.0, |p| p.0);
+        let x = (cpu_used / scale.max(f64::MIN_POSITIVE)).clamp(0.0, top);
         let mut iter = self.points.windows(2);
         while let Some(&[(x0, y0), (x1, y1)]) = iter.next() {
             if x <= x1 {
                 return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
             }
         }
-        self.points.last().unwrap().1
+        self.points.last().map_or(0.0, |p| p.1)
     }
 }
 
@@ -240,12 +244,12 @@ impl DvfsPowerModel {
     /// or the last ceiling is not 1.0.
     pub fn new(states: Vec<(f64, f64, f64)>) -> Self {
         assert!(!states.is_empty(), "need at least one P-state");
-        for w in states.windows(2) {
-            assert!(w[0].0 < w[1].0, "P-state ceilings must increase");
+        for (a, b) in states.iter().zip(states.iter().skip(1)) {
+            assert!(a.0 < b.0, "P-state ceilings must increase");
         }
         assert_eq!(
-            states.last().expect("non-empty").0,
-            1.0,
+            states.last().map(|s| s.0),
+            Some(1.0),
             "the top P-state must cover full utilization"
         );
         DvfsPowerModel { states }
@@ -267,14 +271,16 @@ impl PowerModel for DvfsPowerModel {
     fn power_watts(&self, cpu_used: f64, capacity: Cpu) -> f64 {
         let cap = capacity.as_f64();
         if cap <= 0.0 {
-            return self.states[0].1;
+            return self.states.first().map_or(0.0, |s| s.1);
         }
         let util = (cpu_used / cap).clamp(0.0, 1.0);
-        let &(_, idle, slope) = self
+        // `new` guarantees the last ceiling is 1.0, so the find always
+        // hits; the map_or fallback keeps the path total regardless.
+        let (idle, slope) = self
             .states
             .iter()
             .find(|&&(ceil, _, _)| util <= ceil)
-            .expect("last ceiling is 1.0");
+            .map_or((0.0, 0.0), |&(_, idle, slope)| (idle, slope));
         idle + slope * cpu_used / 100.0
     }
 }

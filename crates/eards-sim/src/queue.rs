@@ -64,7 +64,7 @@ pub struct EventQueue<E> {
     // lint:allow(D001): membership tests and counts only, never iterated
     pending: HashSet<u64>,
     /// Tombstones: cancelled entries still physically in the heap.
-    // lint:allow(D001): membership tests only, never iterated
+    // lint:allow(D001): membership tests only, never iterated. lint:allow(SNAP001): tombstones are compacted away at snapshot time; restore starts clean
     cancelled: HashSet<u64>,
     next_seq: u64,
 }

@@ -83,17 +83,20 @@ impl<E> Wheel<E> {
 /// A hierarchical timing-wheel with the same interface and semantics as
 /// [`crate::EventQueue`].
 pub struct WheelQueue<E> {
+    // lint:allow(SNAP001): snapshots store a flat (ms, seq) list; restore re-places entries
     wheels: Vec<Wheel<E>>,
     /// Events beyond the wheel horizon.
+    // lint:allow(SNAP001): snapshots store a flat (ms, seq) list; restore re-places entries
     overflow: BTreeMap<(u64, u64), E>,
     /// Absolute time (ms) of the current level-0 position.
     cursor: u64,
     /// Absolute slot number last cascaded, per level (avoids re-draining
     /// the same window on every pop).
+    // lint:allow(SNAP001): cascade bookkeeping is re-derived as restore re-places entries
     cascaded: [u64; LEVELS],
     // lint:allow(D001): membership tests and counts only, never iterated
     pending: HashSet<u64>,
-    // lint:allow(D001): membership tests only, never iterated
+    // lint:allow(D001): membership tests only, never iterated. lint:allow(SNAP001): tombstones are compacted away at snapshot time; restore starts clean
     cancelled: HashSet<u64>,
     next_seq: u64,
 }
